@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Ablations for the design choices DESIGN.md calls out, beyond what
+ * the paper tabulates:
+ *
+ *  1. stream depth (paper fixes 2): coverage vs wasted bandwidth;
+ *  2. unit-filter size (paper: 8-10 entries suffice, 16 used);
+ *  3. unified vs partitioned I/D streams (paper: partitioning was not
+ *     beneficial because instruction misses are rare);
+ *  4. czone vs minimum-delta non-unit-stride detection (paper: similar
+ *     performance, min-delta needs more hardware);
+ *  5. the Section 8 timing caveat: how many "stream hits" would stall
+ *     on in-flight prefetches under a flat 50-cycle memory.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "trace/time_sampler.hh"
+#include "util/table.hh"
+
+using namespace sbsim;
+
+namespace {
+
+const std::vector<std::string> kSubjects = {"mgrid", "fftpde", "appbt",
+                                            "trfd"};
+
+void
+depthSweep()
+{
+    std::cout << "Ablation 1: stream depth (10 streams, no filter)\n\n";
+    TablePrinter table(
+        {"name", "d1_hit", "d1_EB", "d2_hit", "d2_EB", "d4_hit",
+         "d4_EB", "d8_hit", "d8_EB"});
+    for (const auto &name : kSubjects) {
+        std::vector<std::string> row = {name};
+        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+            MemorySystemConfig config = paperSystemConfig(10);
+            config.streams.depth = depth;
+            RunOutput out =
+                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
+            row.push_back(
+                fmt(out.engineStats.extraBandwidthPercent(), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+filterSizeSweep()
+{
+    std::cout << "Ablation 2: unit-stride filter size (10 streams)\n\n";
+    std::vector<std::string> headers = {"name"};
+    for (std::uint32_t entries : {2u, 4u, 8u, 16u, 32u})
+        headers.push_back("f" + std::to_string(entries));
+    TablePrinter table(headers);
+    for (const auto &name : kSubjects) {
+        std::vector<std::string> row = {name};
+        for (std::uint32_t entries : {2u, 4u, 8u, 16u, 32u}) {
+            MemorySystemConfig config =
+                paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
+            config.streams.unitFilterEntries = entries;
+            RunOutput out =
+                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(Paper: 8-10 entries suffice.)\n\n";
+}
+
+void
+partitionedStreams()
+{
+    std::cout << "Ablation 3: unified vs partitioned I/D streams "
+                 "(10 streams)\n\n";
+    TablePrinter table({"name", "unified_hit", "partitioned_hit"});
+    for (const auto &name : kSubjects) {
+        MemorySystemConfig unified = paperSystemConfig(10);
+        MemorySystemConfig split = paperSystemConfig(10);
+        split.streams.partitioned = true;
+        RunOutput u =
+            bench::runBenchmark(name, ScaleLevel::DEFAULT, unified);
+        RunOutput p = bench::runBenchmark(name, ScaleLevel::DEFAULT, split);
+        table.addRow({name, fmt(u.engineStats.hitRatePercent(), 1),
+                      fmt(p.engineStats.hitRatePercent(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(Paper: partitioning was not beneficial — few "
+                 "instruction misses.)\n\n";
+}
+
+void
+czoneVsMinDelta()
+{
+    std::cout << "Ablation 4: czone vs minimum-delta stride detection\n\n";
+    TablePrinter table({"name", "unit_only", "czone", "min_delta"});
+    for (const char *name : {"appsp", "fftpde", "trfd"}) {
+        MemorySystemConfig unit =
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
+        MemorySystemConfig czone = paperSystemConfig(
+            10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+        MemorySystemConfig delta =
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                              StrideDetection::MIN_DELTA);
+        table.addRow(
+            {name,
+             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, unit)
+                     .engineStats.hitRatePercent(), 1),
+             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, czone)
+                     .engineStats.hitRatePercent(), 1),
+             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, delta)
+                     .engineStats.hitRatePercent(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(Paper: the two schemes performed similarly.)\n\n";
+}
+
+void
+streamReplacementPolicy()
+{
+    std::cout << "Ablation 6: stream reallocation policy "
+                 "(10 streams, no filter)\n\n";
+    TablePrinter table({"name", "lru_hit", "fifo_hit", "random_hit"});
+    for (const auto &name : kSubjects) {
+        std::vector<std::string> row = {name};
+        for (StreamReplacement repl :
+             {StreamReplacement::LRU, StreamReplacement::FIFO,
+              StreamReplacement::RANDOM}) {
+            MemorySystemConfig config = paperSystemConfig(10);
+            config.streams.replacement = repl;
+            RunOutput out =
+                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(The paper assumes LRU; FIFO/random mostly match "
+                 "because allocation churn dominates.)\n\n";
+}
+
+void
+victimBufferWithDirectMappedL1()
+{
+    std::cout << "Ablation 7: direct-mapped L1 with and without a "
+                 "victim buffer (Section 4.1)\n\n";
+    TablePrinter table({"name", "4way_hit", "dm_hit", "dm+vb_hit",
+                        "vb_local_hit_%"});
+    for (const auto &name : kSubjects) {
+        MemorySystemConfig four_way = paperSystemConfig(10);
+        MemorySystemConfig dm = four_way;
+        dm.l1.icache.assoc = 1;
+        dm.l1.dcache.assoc = 1;
+        MemorySystemConfig dm_vb = dm;
+        dm_vb.victimBufferEntries = 8;
+
+        RunOutput a = bench::runBenchmark(name, ScaleLevel::DEFAULT,
+                                          four_way);
+        RunOutput b = bench::runBenchmark(name, ScaleLevel::DEFAULT, dm);
+        // The victim-buffer run needs the system object for VB stats.
+        const Benchmark &bm = findBenchmark(name);
+        auto workload = bm.makeWorkload(ScaleLevel::DEFAULT);
+        TruncatingSource limited(*workload, bench::refLimit());
+        MemorySystem sys(dm_vb);
+        sys.run(limited);
+        SystemResults r = sys.finish();
+        double vb_hit =
+            sys.victimBuffer() ? sys.victimBuffer()->hitRatePercent()
+                               : 0.0;
+        double dm_vb_stream_hit =
+            sys.engine()->engineStats().hitRatePercent();
+
+        table.addRow({name, fmt(a.engineStats.hitRatePercent(), 1),
+                      fmt(b.engineStats.hitRatePercent(), 1),
+                      fmt(dm_vb_stream_hit, 1), fmt(vb_hit, 1)});
+        (void)r;
+    }
+    table.print(std::cout);
+    std::cout << "\n(With a direct-mapped L1, conflict misses look "
+                 "like isolated references to the streams; the victim "
+                 "buffer absorbs them, as Jouppi proposed.)\n\n";
+}
+
+void
+depthVersusLatency()
+{
+    std::cout << "Ablation 8: stream depth vs memory latency "
+                 "(Section 3: depth must cover the latency)\n"
+              << "(mgrid, 10 streams; cells are avg access cycles / "
+                 "pending-hit %)\n\n";
+    std::vector<std::string> headers = {"latency"};
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u})
+        headers.push_back("d" + std::to_string(depth));
+    TablePrinter table(headers);
+    for (unsigned latency : {20u, 50u, 200u}) {
+        std::vector<std::string> row = {std::to_string(latency)};
+        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+            MemorySystemConfig config = paperSystemConfig(10);
+            config.streams.depth = depth;
+            config.memLatencyCycles = latency;
+            RunOutput out = bench::runBenchmark(
+                "mgrid", ScaleLevel::DEFAULT, config);
+            double pending = percent(
+                out.results.streamHitsPending,
+                out.results.streamHitsPending +
+                    out.results.streamHitsReady);
+            row.push_back(fmt(out.results.avgAccessCycles, 2) + "/" +
+                          fmt(pending, 0));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(Deeper streams run further ahead, so fewer hits "
+                 "stall on in-flight prefetches as latency grows — at "
+                 "the cost of the bandwidth shown in Ablation 1.)\n\n";
+}
+
+void
+timingCaveat()
+{
+    std::cout << "Ablation 5: Section 8 caveat — stream hits whose "
+                 "prefetch is still in flight (50-cycle memory)\n\n";
+    TablePrinter table({"name", "hits_ready", "hits_pending",
+                        "pending_%", "avg_access_cycles"});
+    for (const auto &name : kSubjects) {
+        MemorySystemConfig config = paperSystemConfig(10);
+        RunOutput out =
+            bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+        std::uint64_t ready = out.results.streamHitsReady;
+        std::uint64_t pending = out.results.streamHitsPending;
+        table.addRow({name, fmt(ready), fmt(pending),
+                      fmt(percent(pending, ready + pending), 1),
+                      fmt(out.results.avgAccessCycles, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+pageTranslation()
+{
+    std::cout << "Ablation 9: virtual-to-physical page mapping "
+                 "(czone detection runs on physical addresses)\n\n";
+    TablePrinter table({"name", "identity", "shuffled_4K",
+                        "shuffled_64K", "shuffled_1M"});
+    for (const char *name : {"appsp", "fftpde", "trfd", "mgrid"}) {
+        std::vector<std::string> row = {name};
+        MemorySystemConfig base = paperSystemConfig(
+            10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE,
+            18);
+        RunOutput ident =
+            bench::runBenchmark(name, ScaleLevel::DEFAULT, base);
+        row.push_back(fmt(ident.engineStats.hitRatePercent(), 1));
+        for (unsigned page_bits : {12u, 16u, 20u}) {
+            MemorySystemConfig config = base;
+            config.translation = TranslationMode::SHUFFLED;
+            config.pageBits = page_bits;
+            RunOutput out =
+                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(The paper implicitly assumes contiguous physical "
+                 "pages. A scattered 4 KB page map fragments strides "
+                 "larger than a page — fftpde's 16 KB stride dies — "
+                 "while superpages restore the paper's behaviour. "
+                 "Unit-stride benchmarks barely notice.)\n\n";
+}
+
+void
+associativeLookup()
+{
+    std::cout << "Ablation 10: head-only vs quasi-sequential "
+                 "(associative) stream lookup\n(10 streams, depth 4, "
+                 "no filter; Jouppi's original design axis)\n\n";
+    TablePrinter table({"name", "head_hit", "head_EB", "assoc_hit",
+                        "assoc_EB"});
+    for (const auto &name : kSubjects) {
+        std::vector<std::string> row = {name};
+        for (bool assoc : {false, true}) {
+            MemorySystemConfig config = paperSystemConfig(10);
+            config.streams.depth = 4;
+            config.streams.associativeLookup = assoc;
+            RunOutput out =
+                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
+            row.push_back(
+                fmt(out.engineStats.extraBandwidthPercent(), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(Associative comparison needs one comparator per "
+                 "entry instead of per\nstream; the paper's head-only "
+                 "choice loses little on these access patterns.)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    depthSweep();
+    filterSizeSweep();
+    partitionedStreams();
+    czoneVsMinDelta();
+    timingCaveat();
+    streamReplacementPolicy();
+    victimBufferWithDirectMappedL1();
+    depthVersusLatency();
+    pageTranslation();
+    associativeLookup();
+    return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "trace/time_sampler.hh"
+
+namespace sbsim {
+namespace bench {
+
+std::uint64_t
+refLimit()
+{
+    if (const char *env = std::getenv("SBSIM_BENCH_REFS")) {
+        std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 1500000;
+}
+
+bool
+useTimeSampling()
+{
+    const char *env = std::getenv("SBSIM_BENCH_SAMPLE");
+    return env && env[0] == '1';
+}
+
+RunOutput
+runBenchmark(const std::string &benchmark_name, ScaleLevel level,
+             const MemorySystemConfig &config)
+{
+    const Benchmark &bench = findBenchmark(benchmark_name);
+    auto workload = bench.makeWorkload(level);
+    if (useTimeSampling()) {
+        TimeSampler sampler(*workload, 10000, 90000);
+        TruncatingSource limited(sampler, refLimit());
+        return runOnce(limited, config);
+    }
+    TruncatingSource limited(*workload, refLimit());
+    return runOnce(limited, config);
+}
+
+std::optional<PaperReference>
+paperReference(const std::string &benchmark_name)
+{
+    // Fig. 3 hit rates are read off the figure (+-3%); Table 2 and
+    // Table 3 values are printed in the paper.
+    static const std::map<std::string, PaperReference> refs = {
+        {"embar", {99, 8, 1, 99}},    {"mgrid", {78, 36, 13, 86}},
+        {"cgm", {85, 30, 3, 97}},     {"fftpde", {26, 158, 41, 59}},
+        {"is", {76, 48, 4, 93}},      {"appsp", {33, 134, 5, 84}},
+        {"appbt", {65, 62, 63, 37}},  {"applu", {62, 38, 22, 64}},
+        {"spec77", {73, 44, 14, 84}}, {"adm", {27, 150, 73, 9}},
+        {"bdna", {66, 68, 36, 33}},   {"dyfesm", {46, 108, 50, 25}},
+        {"mdg", {56, 76, 32, 46}},    {"qcd", {57, 74, 50, 43}},
+        {"trfd", {52, 96, 7, 90}},
+    };
+    auto it = refs.find(benchmark_name);
+    if (it == refs.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace bench
+} // namespace sbsim

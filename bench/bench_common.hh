@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benchmark binaries: a
+ * reference-count budget (overridable via SBSIM_BENCH_REFS), helpers
+ * that run one benchmark through a configured system, and the paper's
+ * published numbers for side-by-side comparison in every table.
+ */
+
+#ifndef STREAMSIM_BENCH_BENCH_COMMON_HH
+#define STREAMSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workloads/benchmark.hh"
+
+namespace sbsim {
+namespace bench {
+
+/** Per-run reference budget (default 1.5M; env SBSIM_BENCH_REFS). */
+std::uint64_t refLimit();
+
+/** Whether to time-sample the trace as the paper did (10k on / 90k
+ *  off). Enabled with SBSIM_BENCH_SAMPLE=1; off by default because it
+ *  multiplies generation work tenfold for the same simulated refs. */
+bool useTimeSampling();
+
+/**
+ * Run @p benchmark_name at @p level through @p config, honouring the
+ * reference budget and optional time sampling.
+ */
+RunOutput runBenchmark(const std::string &benchmark_name, ScaleLevel level,
+                       const MemorySystemConfig &config);
+
+/** Paper reference values (approximate where read from a figure). */
+struct PaperReference
+{
+    /** Fig. 3 stream hit rate at 10 streams, %, approx. */
+    double fig3HitRate;
+    /** Table 2 extra bandwidth of ordinary streams, %. */
+    double table2EB;
+    /** Table 3 share of hits from streams of length 1-5, %. */
+    double table3Short;
+    /** Table 3 share of hits from streams longer than 20, %. */
+    double table3Long;
+};
+
+/** Reference numbers for @p benchmark_name; nullopt if not tabulated. */
+std::optional<PaperReference> paperReference(
+    const std::string &benchmark_name);
+
+} // namespace bench
+} // namespace sbsim
+
+#endif // STREAMSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator components
+ * themselves: raw cache access rate, stream-engine lookup rate, full
+ * memory-system reference rate, and workload generation rate. These
+ * gate how large the reproduced experiments can be.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "sim/memory_system.hh"
+#include "stream/prefetch_engine.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 1024;
+    config.assoc = static_cast<std::uint32_t>(state.range(0));
+    config.replacement = ReplacementKind::RANDOM;
+    Cache cache(config);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(makeLoad(a)));
+        a += 32;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_StreamEngineMiss(benchmark::State &state)
+{
+    StreamEngineConfig config;
+    config.numStreams = static_cast<std::uint32_t>(state.range(0));
+    PrefetchEngine engine(config);
+    Addr a = 0;
+    std::uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.onPrimaryMiss(makeLoad(a), ++now));
+        a += 32;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamEngineMiss)->Arg(4)->Arg(10);
+
+void
+BM_MemorySystem(benchmark::State &state)
+{
+    MemorySystemConfig config;
+    config.streams.numStreams = 10;
+    MemorySystem system(config);
+    Addr a = 0;
+    for (auto _ : state) {
+        system.processAccess(makeLoad(a));
+        a += 8;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemorySystem);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto workload = findBenchmark("mgrid").makeWorkload();
+    MemAccess a;
+    for (auto _ : state) {
+        if (!workload->next(a))
+            workload->reset();
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The third arm of the paper's Section 2 triangle: compiler-inserted
+ * software prefetching (Porterfield; Mowry, Lam & Gupta) versus
+ * hardware stream buffers, on the same workloads. Software prefetch
+ * distance 8, with software-pipelined indirection for the gathers.
+ *
+ * The trade the paper describes, to check here:
+ *  - software prefetching covers regular *and* indirect accesses the
+ *    off-chip streams cannot;
+ *  - but every prefetch "requires extra cycles for execution" and
+ *    consumes pin bandwidth (instruction overhead column);
+ *  - and "software may not be able to predict conflict or capacity
+ *    misses" — the burst/conflict components stay uncovered.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "trace/time_sampler.hh"
+#include "util/table.hh"
+
+using namespace sbsim;
+
+namespace {
+
+struct Outcome
+{
+    std::uint64_t misses;
+    double avgCycles;
+    double overheadPercent; ///< Prefetch instructions per reference.
+};
+
+Outcome
+runConfig(const std::string &name, bool streams,
+          std::uint32_t sw_distance)
+{
+    const Benchmark &b = findBenchmark(name);
+    WorkloadSpec spec = b.makeSpec(ScaleLevel::DEFAULT);
+    spec.swPrefetchDistance = sw_distance;
+    ComposedWorkload workload(spec);
+    TruncatingSource limited(workload, bench::refLimit());
+
+    MemorySystemConfig config = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+    config.useStreams = streams;
+    config.busCyclesPerBlock = 4;
+
+    MemorySystem sys(config);
+    sys.run(limited);
+    SystemResults r = sys.finish();
+    return {r.l1DataMisses, r.avgAccessCycles,
+            percent(r.swPrefetches, r.references)};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout
+        << "Software prefetching (distance 8, pipelined indirection) "
+           "vs stream buffers\n(bus 4 cycles/block, memory 50 "
+           "cycles)\n\n";
+
+    TablePrinter table({"name", "none_cyc", "streams_cyc", "sw_cyc",
+                        "sw_miss_redux_%", "sw_overhead_%"});
+
+    for (const char *name :
+         {"embar", "mgrid", "cgm", "fftpde", "appsp", "appbt", "adm",
+          "bdna", "trfd"}) {
+        Outcome none = runConfig(name, false, 0);
+        Outcome streams = runConfig(name, true, 0);
+        Outcome sw = runConfig(name, false, 8);
+        double redux = percent(none.misses - std::min(sw.misses,
+                                                      none.misses),
+                               none.misses);
+        table.addRow({name, fmt(none.avgCycles, 2),
+                      fmt(streams.avgCycles, 2), fmt(sw.avgCycles, 2),
+                      fmt(redux, 1), fmt(sw.overheadPercent, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nSoftware prefetching covers the regular sweeps and the "
+           "pipelined a[b[i]]\ngathers, at a per-reference instruction "
+           "cost (overhead column). What it\ncannot predict stays "
+           "uncovered: scattered pointer chases (adm), random-\nbase "
+           "bursts and conflict misses (appbt) — the paper's Section 2 "
+           "criticism.\n";
+    return 0;
+}

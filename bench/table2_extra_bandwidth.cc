@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Table 2: extra memory bandwidth (EB) consumed by ordinary
+ * (unfiltered) stream buffers, as a percentage of the bandwidth the
+ * program itself needs — i.e. useless prefetched blocks per demand
+ * miss. Ten streams, depth 2, allocate on every miss.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace sbsim;
+
+int
+main()
+{
+    std::cout << "Table 2: extra bandwidth of ordinary streams (%)\n"
+              << "(10 streams, depth 2, no filter)\n\n";
+
+    TablePrinter table({"name", "hit_rate_%", "EB_%", "paper_EB_%"});
+    MemorySystemConfig config = paperSystemConfig(10);
+
+    for (const Benchmark &b : allBenchmarks()) {
+        RunOutput out =
+            bench::runBenchmark(b.name, ScaleLevel::DEFAULT, config);
+        auto ref = bench::paperReference(b.name);
+        table.addRow({b.name, fmt(out.engineStats.hitRatePercent(), 1),
+                      fmt(out.engineStats.extraBandwidthPercent(), 1),
+                      ref ? fmt(ref->table2EB, 0) : "-"});
+    }
+    table.print(std::cout);
+    return 0;
+}

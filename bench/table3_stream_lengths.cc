@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 3: distribution of stream lengths — what share of
+ * all stream hits came from streams that delivered 1-5, 6-10, 11-15,
+ * 16-20 or more than 20 hits before the pattern broke. Ten streams,
+ * no filter (as in the paper's Section 6 discussion). Benchmarks with
+ * a heavy 1-5 bucket (appbt!) are the ones the unit-stride filter
+ * hurts.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace sbsim;
+
+int
+main()
+{
+    std::cout << "Table 3: distribution of stream lengths (% of hits)\n"
+              << "(10 streams, depth 2, no filter)\n\n";
+
+    TablePrinter table({"name", "1-5", "6-10", "11-15", "16-20", ">20",
+                        "paper_1-5", "paper_>20"});
+    MemorySystemConfig config = paperSystemConfig(10);
+
+    for (const Benchmark &b : allBenchmarks()) {
+        RunOutput out =
+            bench::runBenchmark(b.name, ScaleLevel::DEFAULT, config);
+        std::vector<std::string> row = {b.name};
+        for (double share : out.lengthSharesPercent)
+            row.push_back(fmt(share, 0));
+        while (row.size() < 6)
+            row.push_back("-");
+        auto ref = bench::paperReference(b.name);
+        row.push_back(ref ? fmt(ref->table3Short, 0) : "-");
+        row.push_back(ref ? fmt(ref->table3Long, 0) : "-");
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

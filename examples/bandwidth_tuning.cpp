@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bandwidth tuning: the system-design question of Section 6. A
+ * machine with limited memory bandwidth cannot afford Jouppi's
+ * allocate-on-every-miss streams; the unit-stride filter trades a
+ * little hit rate for a large cut in wasted prefetch bandwidth. This
+ * example sweeps the filter size on two contrasting workloads — trfd
+ * (isolated references, filter is nearly free) and appbt (short
+ * streams, the filter costs real hits) — and prints the trade-off so
+ * a designer can pick an operating point.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "trace/time_sampler.hh"
+#include "util/table.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+struct Point
+{
+    double hit;
+    double eb;
+};
+
+Point
+measure(const std::string &name, bool filtered, std::uint32_t entries)
+{
+    const Benchmark &bench = findBenchmark(name);
+    auto workload = bench.makeWorkload(ScaleLevel::DEFAULT);
+    TruncatingSource trace(*workload, 800000);
+    MemorySystemConfig config = paperSystemConfig(
+        10, filtered ? AllocationPolicy::UNIT_FILTER
+                     : AllocationPolicy::ALWAYS);
+    config.streams.unitFilterEntries = entries;
+    RunOutput out = runOnce(trace, config);
+    return {out.engineStats.hitRatePercent(),
+            out.engineStats.extraBandwidthPercent()};
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const char *name : {"trfd", "appbt"}) {
+        std::cout << "Workload: " << name << "\n";
+        TablePrinter table({"config", "hit_rate_%", "extra_bw_%"});
+        Point raw = measure(name, false, 16);
+        table.addRow({"no filter", fmt(raw.hit, 1), fmt(raw.eb, 1)});
+        for (std::uint32_t entries : {4u, 8u, 16u, 32u}) {
+            Point p = measure(name, true, entries);
+            table.addRow({"filter/" + std::to_string(entries),
+                          fmt(p.hit, 1), fmt(p.eb, 1)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout
+        << "If the memory system can supply the extra bandwidth, run "
+           "unfiltered\n(appbt keeps its short-stream hits); if not, "
+           "the filter buys a ~5-10x\nbandwidth reduction (trfd) for "
+           "a small hit-rate cost.\n";
+    return 0;
+}

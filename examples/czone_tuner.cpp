@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Czone auto-tuning. Section 7 ends with: "Since the size of the
+ * czone depends on the stride and the array dimensions, it is
+ * possible for the programmer or the compiler to set it to a suitable
+ * value." This example plays that compiler: it profiles a short
+ * prefix of each strided workload across candidate czone sizes (the
+ * run-time-settable mask register), picks the best, and then runs the
+ * full workload with the tuned value — reporting what a fixed default
+ * would have left on the table.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "trace/time_sampler.hh"
+#include "util/table.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+double
+hitRateAt(const Benchmark &bench, unsigned czone_bits,
+          std::uint64_t budget)
+{
+    auto workload = bench.makeWorkload(ScaleLevel::DEFAULT);
+    TruncatingSource limited(*workload, budget);
+    MemorySystemConfig config = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE,
+        czone_bits);
+    return runOnce(limited, config).engineStats.hitRatePercent();
+}
+
+/** Profile a short prefix and return the best czone size. */
+unsigned
+tuneCzone(const Benchmark &bench, std::uint64_t profile_budget)
+{
+    unsigned best_bits = 18;
+    double best_hit = -1;
+    for (unsigned bits : {12u, 14u, 16u, 18u, 20u, 22u, 24u}) {
+        double hit = hitRateAt(bench, bits, profile_budget);
+        if (hit > best_hit) {
+            best_hit = hit;
+            best_bits = bits;
+        }
+    }
+    return best_bits;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t profile_budget = 120000; // Short prefix.
+    const std::uint64_t full_budget = 900000;
+    const unsigned fixed_default = 14;
+
+    std::cout << "Tuning the czone size per program (profile "
+              << profile_budget << " refs, then run " << full_budget
+              << ")\n\n";
+
+    TablePrinter table({"name", "tuned_bits", "hit_tuned",
+                        "hit_fixed_" + std::to_string(fixed_default),
+                        "gain"});
+    for (const char *name : {"appsp", "fftpde", "trfd"}) {
+        const Benchmark &bench = findBenchmark(name);
+        unsigned bits = tuneCzone(bench, profile_budget);
+        double tuned = hitRateAt(bench, bits, full_budget);
+        double fixed = hitRateAt(bench, fixed_default, full_budget);
+        table.addRow({name, std::to_string(bits), fmt(tuned, 1),
+                      fmt(fixed, 1), fmt(tuned - fixed, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nA profile-guided czone recovers the strided "
+                 "passes a fixed mask can miss\n(fftpde needs 16-22 "
+                 "bits; a 14-bit default loses most of its gain).\n";
+    return 0;
+}

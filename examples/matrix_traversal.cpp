@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Matrix traversal: the scenario that motivates non-unit-stride
+ * detection (Section 7 of the paper). A large matrix is walked
+ * row-major (unit stride) and then column-major (stride = one row).
+ * Ordinary streams catch only the row-major walk; adding the czone
+ * filter recovers the column-major walk too — provided the czone is
+ * sized right, which this example sweeps.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+#include "workloads/pattern.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** Build a row-major + column-major traversal of an N x N matrix. */
+WorkloadSpec
+matrixWorkload(std::uint64_t n)
+{
+    AddressArena arena;
+    const std::uint64_t row_bytes = n * 8;
+    Addr matrix = arena.alloc(n * row_bytes);
+
+    WorkloadSpec spec;
+    spec.name = "matrix";
+    spec.timeSteps = 4;
+
+    // Row-major: one long unit-stride stream.
+    SweepOp rows;
+    rows.streams = {{matrix, 32, AccessType::LOAD, 8}};
+    rows.count = n * row_bytes / 32;
+    spec.ops.push_back(rows);
+
+    // Column-major: column by column, stride = one row.
+    SweepOp cols;
+    cols.streams = {
+        {matrix, static_cast<std::int64_t>(row_bytes),
+         AccessType::LOAD, 8}};
+    cols.count = n;
+    cols.segments = n;
+    cols.segmentStride = 8;
+    spec.ops.push_back(cols);
+    return spec;
+}
+
+double
+hitRate(std::uint64_t n, StrideDetection stride, unsigned czone_bits)
+{
+    ComposedWorkload workload(matrixWorkload(n));
+    MemorySystemConfig config = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, stride, czone_bits);
+    return runOnce(workload, config).engineStats.hitRatePercent();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t n = 512; // 512 x 512 doubles = 2 MB.
+
+    std::cout << "Traversing a 512x512 double matrix row-major then "
+                 "column-major\n(row stride = 4 KB)\n\n";
+
+    std::cout << "unit-stride streams only:   "
+              << fmt(hitRate(n, StrideDetection::NONE, 0), 1) << " %\n\n";
+
+    TablePrinter table({"czone_bits", "hit_rate_%"});
+    for (unsigned bits : {10u, 12u, 14u, 16u, 18u, 20u, 22u, 24u}) {
+        table.addRow({std::to_string(bits),
+                      fmt(hitRate(n, StrideDetection::CZONE, bits), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe czone must span at least ~2x the stride "
+                 "(> 13 bits here) for three consecutive strided "
+                 "references to share a partition.\n";
+    return 0;
+}

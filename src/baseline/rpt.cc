@@ -1,0 +1,119 @@
+#include "rpt.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+RptPrefetcher::RptPrefetcher(const RptConfig &config)
+    : config_(config),
+      mapper_(config.blockSize),
+      table_(config.tableEntries),
+      buffer_(config.bufferEntries)
+{
+    SBSIM_ASSERT(config.tableEntries > 0, "RPT needs table entries");
+    SBSIM_ASSERT(config.bufferEntries > 0, "RPT needs buffer entries");
+}
+
+void
+RptPrefetcher::deposit(BlockAddr block)
+{
+    // Skip duplicates already buffered.
+    for (const auto &slot : buffer_)
+        if (slot.valid && slot.block == block)
+            return;
+    BufferSlot *victim = &buffer_[0];
+    for (auto &slot : buffer_) {
+        if (!slot.valid) {
+            victim = &slot;
+            break;
+        }
+        if (slot.tick < victim->tick)
+            victim = &slot;
+    }
+    *victim = {block, ++tick_, true};
+    ++issued_;
+}
+
+void
+RptPrefetcher::observe(const MemAccess &access)
+{
+    if (access.isInstruction() || access.pc == 0)
+        return;
+
+    Entry &entry = table_[(access.pc >> 2) % table_.size()];
+    if (!entry.valid || entry.pc != access.pc) {
+        entry = {access.pc, access.addr, 0, State::INITIAL, true};
+        return;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(access.addr) -
+                         static_cast<std::int64_t>(entry.prevAddr);
+    bool correct = delta == entry.stride;
+
+    switch (entry.state) {
+      case State::INITIAL:
+        entry.state = correct ? State::STEADY : State::TRANSIENT;
+        if (!correct)
+            entry.stride = delta;
+        break;
+      case State::TRANSIENT:
+        if (correct) {
+            entry.state = State::STEADY;
+        } else {
+            entry.stride = delta;
+            entry.state = State::NO_PRED;
+        }
+        break;
+      case State::STEADY:
+        if (!correct)
+            entry.state = State::INITIAL;
+        break;
+      case State::NO_PRED:
+        if (correct) {
+            entry.state = State::TRANSIENT;
+        } else {
+            entry.stride = delta;
+        }
+        break;
+    }
+    entry.prevAddr = access.addr;
+
+    if (entry.state == State::STEADY && entry.stride != 0) {
+        Addr next = access.addr + static_cast<Addr>(entry.stride);
+        BlockAddr block = mapper_.blockBase(next);
+        if (block != mapper_.blockBase(access.addr) &&
+            (!inCache_ || !inCache_(block))) {
+            deposit(block);
+        }
+    }
+}
+
+bool
+RptPrefetcher::probe(Addr addr)
+{
+    ++probes_;
+    BlockAddr block = mapper_.blockBase(addr);
+    for (auto &slot : buffer_) {
+        if (slot.valid && slot.block == block) {
+            slot.valid = false;
+            ++useful_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+RptPrefetcher::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+    for (auto &s : buffer_)
+        s = BufferSlot{};
+    tick_ = 0;
+    issued_.reset();
+    useful_.reset();
+    probes_.reset();
+}
+
+} // namespace sbsim

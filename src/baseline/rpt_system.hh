@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Driver pairing the paper's primary cache with the Baer-Chen RPT so
+ * its miss coverage can be compared against stream buffers on the
+ * same traces.
+ */
+
+#ifndef STREAMSIM_BASELINE_RPT_SYSTEM_HH
+#define STREAMSIM_BASELINE_RPT_SYSTEM_HH
+
+#include "baseline/rpt.hh"
+#include "cache/split_cache.hh"
+#include "trace/source.hh"
+
+namespace sbsim {
+
+/** L1 + RPT; every data reference trains the table. */
+class RptSystem
+{
+  public:
+    RptSystem(const SplitCacheConfig &l1_config, const RptConfig &rpt)
+        : l1_(l1_config), rpt_(rpt)
+    {
+        // On-chip prefetcher: suppress prefetches of cached blocks.
+        rpt_.setCacheProbe(
+            [this](BlockAddr block) { return l1_.dcache().probe(block); });
+    }
+
+    void
+    processAccess(const MemAccess &access)
+    {
+        if (!access.isInstruction())
+            rpt_.observe(access);
+        CacheResult result = l1_.access(access);
+        if (!result.hit && !access.isInstruction())
+            rpt_.probe(access.addr);
+    }
+
+    std::uint64_t
+    run(TraceSource &src)
+    {
+        std::uint64_t n = 0;
+        MemAccess a;
+        while (src.next(a)) {
+            processAccess(a);
+            ++n;
+        }
+        return n;
+    }
+
+    const RptPrefetcher &rpt() const { return rpt_; }
+    const SplitCache &l1() const { return l1_; }
+
+  private:
+    SplitCache l1_;
+    RptPrefetcher rpt_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_BASELINE_RPT_SYSTEM_HH

@@ -1,0 +1,222 @@
+#include "cache.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace sbsim {
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOf2(blockSize))
+        SBSIM_FATAL("cache block size must be a power of two: ", blockSize);
+    if (assoc == 0)
+        SBSIM_FATAL("cache associativity must be nonzero");
+    if (sizeBytes == 0 ||
+        sizeBytes % (static_cast<std::uint64_t>(assoc) * blockSize) != 0) {
+        SBSIM_FATAL("cache size ", sizeBytes,
+                    " is not a multiple of assoc*blockSize");
+    }
+    if (!isPowerOf2(numSets()))
+        SBSIM_FATAL("cache set count must be a power of two: ", numSets());
+}
+
+namespace {
+
+/** Validate before any member computes with the parameters. */
+const CacheConfig &
+validated(const CacheConfig &config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, std::string name)
+    : config_(validated(config)),
+      name_(std::move(name)),
+      mapper_(config.blockSize),
+      numSets_(config.numSets()),
+      setShift_(floorLog2(config.blockSize)),
+      lines_(static_cast<std::size_t>(config.numSets()) * config.assoc),
+      policy_(makeReplacementPolicy(config.replacement, config.numSets(),
+                                    config.assoc, config.seed))
+{}
+
+std::uint32_t
+Cache::setIndex(Addr a) const
+{
+    return static_cast<std::uint32_t>((a >> setShift_) & (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr a) const
+{
+    return a >> (setShift_ + floorLog2(numSets_));
+}
+
+Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+}
+
+const Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+}
+
+int
+Cache::findWay(std::uint32_t set, Addr tag) const
+{
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+std::uint32_t
+Cache::evictFrom(std::uint32_t set, CacheResult &result)
+{
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!lineAt(set, w).valid)
+            return w;
+    }
+    std::uint32_t w = policy_->victim(set);
+    SBSIM_ASSERT(w < config_.assoc, "policy returned way ", w);
+    Line &line = lineAt(set, w);
+    Addr victim_base =
+        (line.tag << (setShift_ + floorLog2(numSets_))) |
+        (static_cast<Addr>(set) << setShift_);
+    result.victimEvicted = true;
+    result.victimAddr = victim_base;
+    if (line.dirty && config_.writeBack) {
+        result.writeback = true;
+        result.writebackAddr = victim_base;
+        ++writebacks_;
+    }
+    line.valid = false;
+    return w;
+}
+
+CacheResult
+Cache::access(const MemAccess &access)
+{
+    ++accesses_;
+    CacheResult result;
+    Addr a = access.addr;
+    std::uint32_t set = setIndex(a);
+    Addr tag = tagOf(a);
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        result.hit = true;
+        ++hits_;
+        policy_->touch(set, static_cast<std::uint32_t>(way));
+        if (access.isWrite()) {
+            if (config_.writeBack)
+                lineAt(set, static_cast<std::uint32_t>(way)).dirty = true;
+            // Write-through would send the word to memory; traffic for
+            // that mode is accounted by the caller.
+        }
+        return result;
+    }
+
+    // Miss.
+    if (access.isWrite() && !config_.writeAllocate) {
+        // Write-no-allocate: the write goes around the cache.
+        return result;
+    }
+
+    std::uint32_t fill_way = evictFrom(set, result);
+    Line &line = lineAt(set, fill_way);
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = access.isWrite() && config_.writeBack;
+    policy_->fill(set, fill_way);
+    result.filled = true;
+    return result;
+}
+
+CacheResult
+Cache::fill(Addr a, bool dirty)
+{
+    CacheResult result;
+    std::uint32_t set = setIndex(a);
+    Addr tag = tagOf(a);
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        // Already present: just update dirty state.
+        if (dirty)
+            lineAt(set, static_cast<std::uint32_t>(way)).dirty = true;
+        result.hit = true;
+        return result;
+    }
+
+    std::uint32_t fill_way = evictFrom(set, result);
+    Line &line = lineAt(set, fill_way);
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = dirty;
+    policy_->fill(set, fill_way);
+    result.filled = true;
+    return result;
+}
+
+bool
+Cache::probe(Addr a) const
+{
+    return findWay(setIndex(a), tagOf(a)) >= 0;
+}
+
+bool
+Cache::invalidate(Addr a)
+{
+    std::uint32_t set = setIndex(a);
+    int way = findWay(set, tagOf(a));
+    if (way < 0)
+        return false;
+    lineAt(set, static_cast<std::uint32_t>(way)).valid = false;
+    return true;
+}
+
+std::uint64_t
+Cache::residentBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    policy_->reset();
+    accesses_.reset();
+    hits_.reset();
+    writebacks_.reset();
+}
+
+StatGroup
+Cache::stats() const
+{
+    StatGroup g(name_);
+    g.add("accesses", static_cast<double>(accesses()));
+    g.add("hits", static_cast<double>(hits()));
+    g.add("misses", static_cast<double>(misses()));
+    g.add("writebacks", static_cast<double>(writebacks()));
+    g.add("miss_rate_pct", missRatePercent());
+    return g;
+}
+
+} // namespace sbsim

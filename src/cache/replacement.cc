@@ -1,0 +1,112 @@
+#include "replacement.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), lastUse_(static_cast<std::size_t>(sets) * ways, 0)
+{}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+void
+LruPolicy::fill(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = lastUse_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (lastUse_[base + w] < oldest) {
+            oldest = lastUse_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::reset()
+{
+    tick_ = 0;
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+}
+
+RandomPolicy::RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+                           std::uint64_t seed)
+    : ways_(ways), seed_(seed), rng_(seed)
+{
+    (void)sets;
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t set)
+{
+    (void)set;
+    return rng_.below(ways_);
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Pcg32(seed_);
+}
+
+FifoPolicy::FifoPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), fillTick_(static_cast<std::size_t>(sets) * ways, 0)
+{}
+
+void
+FifoPolicy::fill(std::uint32_t set, std::uint32_t way)
+{
+    fillTick_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+std::uint32_t
+FifoPolicy::victim(std::uint32_t set)
+{
+    std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = fillTick_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (fillTick_[base + w] < oldest) {
+            oldest = fillTick_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+FifoPolicy::reset()
+{
+    tick_ = 0;
+    std::fill(fillTick_.begin(), fillTick_.end(), 0);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::uint32_t sets,
+                      std::uint32_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::RANDOM:
+        return std::make_unique<RandomPolicy>(sets, ways, seed);
+      case ReplacementKind::FIFO:
+        return std::make_unique<FifoPolicy>(sets, ways);
+    }
+    SBSIM_PANIC("unknown replacement kind");
+}
+
+} // namespace sbsim

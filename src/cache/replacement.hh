@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pluggable cache replacement policies. The paper's primary cache uses
+ * random replacement (Section 4.1); the secondary-cache study and the
+ * stream-buffer LRU reallocation need LRU; FIFO is provided for
+ * ablations.
+ */
+
+#ifndef STREAMSIM_CACHE_REPLACEMENT_HH
+#define STREAMSIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace sbsim {
+
+/** Selector for the built-in replacement policies. */
+enum class ReplacementKind : std::uint8_t
+{
+    LRU,
+    RANDOM,
+    FIFO,
+};
+
+/** Short text name for a replacement kind. */
+inline const char *
+toString(ReplacementKind k)
+{
+    switch (k) {
+      case ReplacementKind::LRU: return "lru";
+      case ReplacementKind::RANDOM: return "random";
+      case ReplacementKind::FIFO: return "fifo";
+    }
+    return "?";
+}
+
+/**
+ * Per-set replacement state machine. The cache asks for a victim only
+ * when every way in the set is valid; invalid ways are always filled
+ * first by the cache itself.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A block in (set, way) was referenced. */
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A block was newly filled into (set, way). */
+    virtual void fill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose the way to evict from a full @p set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    virtual void reset() = 0;
+};
+
+/** Least-recently-used, via per-way last-use timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    void reset() override;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> lastUse_;
+};
+
+/** Uniform random victim selection from a deterministic RNG. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+                 std::uint64_t seed = 1);
+
+    void touch(std::uint32_t, std::uint32_t) override {}
+    void fill(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set) override;
+    void reset() override;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t seed_;
+    Pcg32 rng_;
+};
+
+/** First-in first-out: evicts the oldest fill. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t, std::uint32_t) override {}
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    void reset() override;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> fillTick_;
+};
+
+/** Factory for the built-in policies. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::uint32_t sets,
+                      std::uint32_t ways, std::uint64_t seed = 1);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_CACHE_REPLACEMENT_HH

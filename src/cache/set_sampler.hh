@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set sampling for multi-megabyte secondary cache simulation, after
+ * Kessler, Hill & Wood [11] (cited in Table 4 of the paper). Instead
+ * of simulating every set of a large cache, a 1/2^k slice of the
+ * address space is simulated in a proportionally smaller cache; the
+ * hit rate over the sampled references estimates the full cache's hit
+ * rate.
+ *
+ * Sampling selects on address bits just above the largest block offset
+ * used in the study (128-byte blocks, so bits >= 7), which keeps the
+ * *same blocks* sampled across every cache size / associativity /
+ * block size being compared.
+ */
+
+#ifndef STREAMSIM_CACHE_SET_SAMPLER_HH
+#define STREAMSIM_CACHE_SET_SAMPLER_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace sbsim {
+
+/**
+ * A cache simulated over a sampled slice of the address space.
+ *
+ * Accepted addresses are squished (the sampling bits removed) and fed
+ * to an internal cache of size / 2^k. Hit-rate estimates come from the
+ * sampled accesses only.
+ */
+class SampledCache
+{
+  public:
+    /**
+     * @param config Full-size cache configuration being estimated.
+     * @param sample_log2 Sample 1/2^sample_log2 of the space; 0 means
+     *        exact simulation.
+     * @param residue Which slice to sample (0 .. 2^sample_log2 - 1).
+     * @param sample_bit_shift Low bit of the sampling field; must be
+     *        >= log2(blockSize) of every config under comparison.
+     */
+    SampledCache(const CacheConfig &config, unsigned sample_log2 = 4,
+                 std::uint64_t residue = 0, unsigned sample_bit_shift = 7)
+        : fullConfig_(config),
+          sampleLog2_(sample_log2),
+          residue_(residue),
+          shift_(sample_bit_shift),
+          cache_(scaledConfig(config, sample_log2), "sampled")
+    {
+        SBSIM_ASSERT(residue < (std::uint64_t{1} << sample_log2),
+                     "sample residue out of range");
+        SBSIM_ASSERT(shift_ >= floorLog2(config.blockSize),
+                     "sampling bits overlap the block offset");
+    }
+
+    /** True when @p a falls in the sampled slice. */
+    bool
+    accepts(Addr a) const
+    {
+        if (sampleLog2_ == 0)
+            return true;
+        return ((a >> shift_) & mask(sampleLog2_)) == residue_;
+    }
+
+    /**
+     * Simulate one sampled reference. @pre accepts(access.addr).
+     */
+    CacheResult
+    access(const MemAccess &access)
+    {
+        SBSIM_ASSERT(accepts(access.addr), "access outside sampled slice");
+        MemAccess squished = access;
+        squished.addr = squish(access.addr);
+        return cache_.access(squished);
+    }
+
+    /** Estimated local hit rate over sampled references, percent. */
+    double hitRatePercent() const { return cache_.localHitRatePercent(); }
+
+    std::uint64_t sampledAccesses() const { return cache_.accesses(); }
+    std::uint64_t sampledHits() const { return cache_.hits(); }
+
+    const CacheConfig &fullConfig() const { return fullConfig_; }
+
+    void reset() { cache_.reset(); }
+
+  private:
+    static CacheConfig
+    scaledConfig(CacheConfig c, unsigned sample_log2)
+    {
+        std::uint64_t scaled = c.sizeBytes >> sample_log2;
+        std::uint64_t min_size =
+            static_cast<std::uint64_t>(c.assoc) * c.blockSize;
+        c.sizeBytes = scaled < min_size ? min_size : scaled;
+        return c;
+    }
+
+    /** Remove the sampling bits from @p a, preserving all others. */
+    Addr
+    squish(Addr a) const
+    {
+        if (sampleLog2_ == 0)
+            return a;
+        Addr low = a & mask(shift_);
+        Addr high = a >> (shift_ + sampleLog2_);
+        return (high << shift_) | low;
+    }
+
+    CacheConfig fullConfig_;
+    unsigned sampleLog2_;
+    std::uint64_t residue_;
+    unsigned shift_;
+    Cache cache_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_CACHE_SET_SAMPLER_HH

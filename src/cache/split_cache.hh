@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The paper's primary cache: split 64 KB instruction + 64 KB data,
+ * 4-way set associative, random replacement, write-back and
+ * write-allocate (Section 4.1). Instruction fetches route to the
+ * I-cache, loads and stores to the D-cache.
+ */
+
+#ifndef STREAMSIM_CACHE_SPLIT_CACHE_HH
+#define STREAMSIM_CACHE_SPLIT_CACHE_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+
+namespace sbsim {
+
+/** Configuration of the split L1. */
+struct SplitCacheConfig
+{
+    CacheConfig icache;
+    CacheConfig dcache;
+
+    /** The paper's default configuration. */
+    static SplitCacheConfig
+    paperDefault(std::uint32_t block_size = 32)
+    {
+        SplitCacheConfig c;
+        c.icache = {64 * 1024, 4, block_size, ReplacementKind::RANDOM,
+                    true, true, 1};
+        c.dcache = {64 * 1024, 4, block_size, ReplacementKind::RANDOM,
+                    true, true, 2};
+        return c;
+    }
+};
+
+/** Split L1 with per-side statistics. */
+class SplitCache
+{
+  public:
+    explicit SplitCache(const SplitCacheConfig &config,
+                        const std::string &name = "l1")
+        : icache_(config.icache, name + ".icache"),
+          dcache_(config.dcache, name + ".dcache")
+    {
+        SBSIM_ASSERT(config.icache.blockSize == config.dcache.blockSize,
+                     "split cache sides must share a block size");
+    }
+
+    /** Route one reference to the appropriate side. */
+    CacheResult
+    access(const MemAccess &access)
+    {
+        return sideFor(access).access(access);
+    }
+
+    /** Fill the block containing @p a into the side for @p type. */
+    CacheResult
+    fill(Addr a, AccessType type, bool dirty = false)
+    {
+        return (type == AccessType::IFETCH ? icache_ : dcache_)
+            .fill(a, dirty);
+    }
+
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+
+    const BlockMapper &mapper() const { return dcache_.mapper(); }
+
+    std::uint64_t
+    accesses() const
+    {
+        return icache_.accesses() + dcache_.accesses();
+    }
+
+    std::uint64_t misses() const { return icache_.misses() + dcache_.misses(); }
+
+    /** Combined miss rate over all references. */
+    double missRatePercent() const { return percent(misses(), accesses()); }
+
+    void
+    reset()
+    {
+        icache_.reset();
+        dcache_.reset();
+    }
+
+  private:
+    Cache &
+    sideFor(const MemAccess &access)
+    {
+        return access.isInstruction() ? icache_ : dcache_;
+    }
+
+    Cache icache_;
+    Cache dcache_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_CACHE_SPLIT_CACHE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cache-block address arithmetic. A BlockMapper captures one block
+ * size and converts between byte addresses, block base addresses and
+ * block numbers.
+ */
+
+#ifndef STREAMSIM_MEM_BLOCK_HH
+#define STREAMSIM_MEM_BLOCK_HH
+
+#include "mem/types.hh"
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace sbsim {
+
+/** Address math for one power-of-two block size. */
+class BlockMapper
+{
+  public:
+    /** @param block_size Cache block size in bytes; must be 2^k. */
+    explicit BlockMapper(unsigned block_size)
+        : blockSize_(block_size), shift_(floorLog2(block_size))
+    {
+        SBSIM_ASSERT(isPowerOf2(block_size),
+                     "block size must be a power of two, got ", block_size);
+    }
+
+    unsigned blockSize() const { return blockSize_; }
+    unsigned blockShift() const { return shift_; }
+
+    /** Base (byte) address of the block containing @p a. */
+    BlockAddr blockBase(Addr a) const { return a & ~mask(shift_); }
+
+    /** Sequential block number of the block containing @p a. */
+    std::uint64_t blockNumber(Addr a) const { return a >> shift_; }
+
+    /** Byte address of block number @p n. */
+    Addr blockToAddr(std::uint64_t n) const { return n << shift_; }
+
+    /** True when both addresses fall in the same block. */
+    bool
+    sameBlock(Addr a, Addr b) const
+    {
+        return blockNumber(a) == blockNumber(b);
+    }
+
+    /** Base address of the @p n-th successor block of @p a. */
+    BlockAddr
+    nextBlock(Addr a, std::uint64_t n = 1) const
+    {
+        return blockBase(a) + n * blockSize_;
+    }
+
+  private:
+    unsigned blockSize_;
+    unsigned shift_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_MEM_BLOCK_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental memory-system types: addresses, access kinds and the
+ * memory reference record that flows from workload generators through
+ * the trace substrate into the simulators.
+ */
+
+#ifndef STREAMSIM_MEM_TYPES_HH
+#define STREAMSIM_MEM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sbsim {
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** A cache-block-granular address (byte address of the block base). */
+using BlockAddr = std::uint64_t;
+
+/** The kind of a memory reference. */
+enum class AccessType : std::uint8_t
+{
+    IFETCH,   ///< Instruction fetch.
+    LOAD,     ///< Data read.
+    STORE,    ///< Data write.
+    PREFETCH, ///< Compiler-inserted non-binding prefetch (Section 2's
+              ///< software-prefetching alternative).
+};
+
+/** Short text name for an access type. */
+inline const char *
+toString(AccessType t)
+{
+    switch (t) {
+      case AccessType::IFETCH: return "ifetch";
+      case AccessType::LOAD: return "load";
+      case AccessType::STORE: return "store";
+      case AccessType::PREFETCH: return "prefetch";
+    }
+    return "?";
+}
+
+/**
+ * One memory reference as seen by the memory system. The trace file
+ * format serializes exactly this.
+ *
+ * The program counter is carried for the on-chip prefetcher baselines
+ * (Baer-Chen reference prediction tables are PC-indexed). The paper's
+ * stream buffers never look at it — their whole point is working
+ * off-chip where the PC is unavailable (Section 7).
+ */
+struct MemAccess
+{
+    Addr addr = 0;
+    Addr pc = 0; ///< Issuing instruction; 0 when unknown.
+    AccessType type = AccessType::LOAD;
+    std::uint8_t size = 8; ///< Access size in bytes.
+
+    bool isInstruction() const { return type == AccessType::IFETCH; }
+    bool isWrite() const { return type == AccessType::STORE; }
+
+    bool
+    operator==(const MemAccess &o) const
+    {
+        return addr == o.addr && pc == o.pc && type == o.type &&
+               size == o.size;
+    }
+};
+
+/** Convenience constructors. */
+inline MemAccess
+makeLoad(Addr a, std::uint8_t size = 8, Addr pc = 0)
+{
+    return {a, pc, AccessType::LOAD, size};
+}
+
+inline MemAccess
+makeStore(Addr a, std::uint8_t size = 8, Addr pc = 0)
+{
+    return {a, pc, AccessType::STORE, size};
+}
+
+inline MemAccess
+makeIfetch(Addr a, std::uint8_t size = 4)
+{
+    return {a, 0, AccessType::IFETCH, size};
+}
+
+inline MemAccess
+makePrefetch(Addr a, Addr pc = 0)
+{
+    return {a, pc, AccessType::PREFETCH, 8};
+}
+
+} // namespace sbsim
+
+#endif // STREAMSIM_MEM_TYPES_HH

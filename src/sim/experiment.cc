@@ -1,0 +1,41 @@
+#include "experiment.hh"
+
+namespace sbsim {
+
+MemorySystemConfig
+paperSystemConfig(std::uint32_t num_streams, AllocationPolicy allocation,
+                  StrideDetection stride, unsigned czone_bits)
+{
+    MemorySystemConfig config;
+    config.l1 = SplitCacheConfig::paperDefault();
+    config.useStreams = true;
+    config.streams.numStreams = num_streams;
+    config.streams.depth = 2;
+    config.streams.blockSize = config.l1.dcache.blockSize;
+    config.streams.allocation = allocation;
+    config.streams.unitFilterEntries = 16;
+    config.streams.strideDetection = stride;
+    config.streams.strideFilterEntries = 16;
+    config.streams.czoneBits = czone_bits;
+    return config;
+}
+
+RunOutput
+runOnce(TraceSource &src, const MemorySystemConfig &config)
+{
+    MemorySystem system(config);
+    system.run(src);
+
+    RunOutput out;
+    out.results = system.finish();
+    if (const PrefetchEngine *engine = system.engine()) {
+        out.engineStats = engine->engineStats();
+        const BucketedDistribution &dist = engine->lengthDistribution();
+        out.lengthSharesPercent.reserve(dist.size());
+        for (std::size_t i = 0; i < dist.size(); ++i)
+            out.lengthSharesPercent.push_back(dist.sharePercent(i));
+    }
+    return out;
+}
+
+} // namespace sbsim

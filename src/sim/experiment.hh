@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Experiment plumbing shared by the benchmark harness: canonical paper
+ * configurations, a one-shot runner that returns everything the tables
+ * and figures need, and small sweep helpers.
+ */
+
+#ifndef STREAMSIM_SIM_EXPERIMENT_HH
+#define STREAMSIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/memory_system.hh"
+
+namespace sbsim {
+
+/** Everything a table/figure row needs from one simulation run. */
+struct RunOutput
+{
+    SystemResults results;
+    StreamEngineStats engineStats;
+    /** Stream-length distribution shares (%) for the five Table 3
+     *  buckets: 1-5, 6-10, 11-15, 16-20, >20. Empty without streams. */
+    std::vector<double> lengthSharesPercent;
+};
+
+/**
+ * Paper-standard system configuration.
+ *
+ * @param num_streams Number of stream buffers.
+ * @param allocation Stream allocation policy.
+ * @param stride Non-unit-stride detection backing the unit filter.
+ * @param czone_bits Czone size when @p stride is CZONE.
+ */
+MemorySystemConfig
+paperSystemConfig(std::uint32_t num_streams = 10,
+                  AllocationPolicy allocation = AllocationPolicy::ALWAYS,
+                  StrideDetection stride = StrideDetection::NONE,
+                  unsigned czone_bits = 18);
+
+/** Run @p src through a system configured by @p config. */
+RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_SIM_EXPERIMENT_HH

@@ -1,0 +1,114 @@
+#include "l2_study.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+SecondaryCacheStudy::SecondaryCacheStudy(
+    const std::vector<CacheConfig> &configs, unsigned sample_log2)
+{
+    SBSIM_ASSERT(!configs.empty(), "L2 study needs candidates");
+    caches_.reserve(configs.size());
+    for (const auto &c : configs)
+        caches_.emplace_back(c, sample_log2, /*residue=*/0,
+                             /*sample_bit_shift=*/7);
+}
+
+void
+SecondaryCacheStudy::onL1Miss(const MemAccess &access)
+{
+    ++missesSeen_;
+    for (auto &cache : caches_) {
+        if (cache.accepts(access.addr))
+            cache.access(access);
+    }
+}
+
+std::vector<L2Result>
+SecondaryCacheStudy::results() const
+{
+    std::vector<L2Result> out;
+    out.reserve(caches_.size());
+    for (const auto &cache : caches_) {
+        out.push_back({cache.fullConfig(), cache.hitRatePercent(),
+                       cache.sampledAccesses()});
+    }
+    return out;
+}
+
+L2StudyDriver::L2StudyDriver(const SplitCacheConfig &l1_config,
+                             const std::vector<CacheConfig> &l2_configs,
+                             unsigned sample_log2)
+    : l1_(l1_config), study_(l2_configs, sample_log2)
+{}
+
+void
+L2StudyDriver::processAccess(const MemAccess &access)
+{
+    CacheResult result = l1_.access(access);
+    if (!result.hit)
+        study_.onL1Miss(access);
+}
+
+std::uint64_t
+L2StudyDriver::run(TraceSource &src)
+{
+    std::uint64_t n = 0;
+    MemAccess a;
+    while (src.next(a)) {
+        processAccess(a);
+        ++n;
+    }
+    return n;
+}
+
+std::vector<CacheConfig>
+table4CandidateConfigs()
+{
+    std::vector<CacheConfig> out;
+    const std::uint64_t kb = 1024;
+    for (std::uint64_t size : {64 * kb, 128 * kb, 256 * kb, 512 * kb,
+                               1024 * kb, 2048 * kb, 4096 * kb}) {
+        for (std::uint32_t assoc : {1u, 2u, 4u}) {
+            for (std::uint32_t block : {64u, 128u}) {
+                CacheConfig c;
+                c.sizeBytes = size;
+                c.assoc = assoc;
+                c.blockSize = block;
+                c.replacement = ReplacementKind::LRU;
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+minSizeReaching(const std::vector<L2Result> &results, double target)
+{
+    std::set<std::uint64_t> sizes;
+    for (const auto &r : results)
+        sizes.insert(r.config.sizeBytes);
+    for (std::uint64_t size : sizes) {
+        if (bestHitRateAtSize(results, size) >= target)
+            return size;
+    }
+    return std::nullopt;
+}
+
+double
+bestHitRateAtSize(const std::vector<L2Result> &results,
+                  std::uint64_t size_bytes)
+{
+    double best = 0;
+    for (const auto &r : results) {
+        if (r.config.sizeBytes == size_bytes)
+            best = std::max(best, r.localHitRatePercent);
+    }
+    return best;
+}
+
+} // namespace sbsim

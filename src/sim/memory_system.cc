@@ -1,0 +1,240 @@
+#include "memory_system.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+MemorySystem::MemorySystem(const MemorySystemConfig &config)
+    : config_(config),
+      pageMapper_(config.translation, config.pageBits, 20,
+                  config.translationSeed),
+      l1_(config.l1),
+      memory_(config.memLatencyCycles)
+{
+    if (config.useStreams) {
+        StreamEngineConfig sc = config.streams;
+        if (sc.blockSize != config.l1.dcache.blockSize) {
+            // Streams prefetch primary-cache blocks; keep them in sync.
+            sc.blockSize = config.l1.dcache.blockSize;
+        }
+        engine_ = std::make_unique<PrefetchEngine>(sc);
+    }
+    if (config.useL2)
+        l2_ = std::make_unique<Cache>(config.l2, "l2");
+    if (config.victimBufferEntries > 0) {
+        victimBuffer_ = std::make_unique<VictimBuffer>(
+            config.victimBufferEntries, config.l1.dcache.blockSize);
+    }
+}
+
+std::uint64_t
+MemorySystem::occupyBus()
+{
+    if (config_.busCyclesPerBlock == 0)
+        return 0;
+    std::uint64_t delay =
+        busFreeAt_ > cycles_ ? busFreeAt_ - cycles_ : 0;
+    busFreeAt_ = cycles_ + delay + config_.busCyclesPerBlock;
+    return delay;
+}
+
+void
+MemorySystem::writebackToMemory(BlockAddr block)
+{
+    // Write-backs bypass the streams on their way down and invalidate
+    // any stale copies (Section 3).
+    if (engine_)
+        engine_->onWriteback(block);
+
+    if (l2_) {
+        // The secondary cache absorbs the write-back; memory sees
+        // traffic only when the L2 spills a dirty victim.
+        CacheResult r = l2_->fill(block, /*dirty=*/true);
+        if (r.writeback) {
+            occupyBus();
+            memory_.transfer(TrafficKind::WRITEBACK);
+        }
+        return;
+    }
+    occupyBus();
+    memory_.transfer(TrafficKind::WRITEBACK);
+}
+
+void
+MemorySystem::handleEviction(const CacheResult &result)
+{
+    if (victimBuffer_ && result.victimEvicted) {
+        // The victim (clean or dirty) parks in the buffer; only an
+        // entry displaced from the buffer actually leaves the chip.
+        VictimDisplaced displaced = victimBuffer_->insert(
+            l1_.mapper().blockBase(result.victimAddr),
+            result.writeback);
+        if (displaced.valid && displaced.dirty)
+            writebackToMemory(displaced.addr);
+        return;
+    }
+    if (result.writeback)
+        writebackToMemory(l1_.mapper().blockBase(result.writebackAddr));
+}
+
+std::uint64_t
+MemorySystem::fetchBlock(const MemAccess &access, TrafficKind kind)
+{
+    if (l2_) {
+        CacheResult r = l2_->access(makeLoad(access.addr));
+        if (r.writeback) {
+            occupyBus();
+            memory_.transfer(TrafficKind::WRITEBACK);
+        }
+        if (r.hit)
+            return config_.l2HitCycles;
+    }
+    std::uint64_t delay = occupyBus();
+    memory_.transfer(kind);
+    if (kind == TrafficKind::DEMAND)
+        busQueueCycles_ += delay;
+    return delay + config_.memLatencyCycles;
+}
+
+void
+MemorySystem::processAccess(const MemAccess &virt_access)
+{
+    SBSIM_ASSERT(!finished_, "processAccess after finish");
+
+    // Caches, victim buffer and streams are all physically addressed.
+    MemAccess access = virt_access;
+    access.addr = pageMapper_.translate(virt_access.addr);
+
+    if (access.type == AccessType::PREFETCH) {
+        // A non-binding software prefetch: costs its issue slot, never
+        // stalls, bypasses the streams (it IS the prefetcher).
+        ++swPrefetches_;
+        cycles_ += config_.l1HitCycles;
+        if (l1_.dcache().probe(access.addr)) {
+            ++swPrefetchesRedundant_;
+            return;
+        }
+        ++swPrefetchesIssued_;
+        CacheResult fill = l1_.fill(access.addr, AccessType::LOAD);
+        handleEviction(fill);
+        fetchBlock(access, TrafficKind::PREFETCH);
+        return;
+    }
+
+    CacheResult l1_result = l1_.access(access);
+    handleEviction(l1_result);
+
+    if (l1_result.hit) {
+        cycles_ += config_.l1HitCycles;
+        return;
+    }
+
+    // On-chip miss: the victim buffer (when present) catches recently
+    // evicted blocks before anything leaves the chip.
+    if (victimBuffer_ && !access.isInstruction()) {
+        bool dirty = false;
+        if (victimBuffer_->probeAndExtract(access.addr, dirty)) {
+            // The block moves back into the L1 (which already
+            // allocated it); restore its dirty state.
+            if (dirty)
+                l1_.fill(access.addr, access.type, true);
+            ++victimHits_;
+            cycles_ += config_.victimHitCycles;
+            return;
+        }
+    }
+
+    // Consult the streams next.
+    if (engine_) {
+        EngineOutcome outcome = engine_->onPrimaryMiss(access, cycles_);
+        for (BlockAddr block : engine_->lastIssuedBlocks()) {
+            // Prefetches come from the secondary cache when it holds
+            // the block (Jouppi's arrangement), otherwise from memory.
+            MemAccess fetch = makeLoad(block);
+            fetchBlock(fetch, TrafficKind::PREFETCH);
+        }
+
+        if (outcome.streamHit) {
+            // The block moves from the stream buffer into the L1 (the
+            // L1 already allocated it during access()). If its
+            // prefetch has not yet completed, stall for the residue.
+            std::uint64_t elapsed = cycles_ - outcome.issueTick;
+            std::uint64_t stall = 0;
+            if (elapsed < config_.memLatencyCycles) {
+                stall = config_.memLatencyCycles - elapsed;
+                ++streamHitsPending_;
+            } else {
+                ++streamHitsReady_;
+            }
+            cycles_ += config_.streamHitCycles + stall;
+            return;
+        }
+    }
+
+    // Fast path: fetch the block from the L2 / main memory.
+    cycles_ += fetchBlock(access, TrafficKind::DEMAND);
+}
+
+std::uint64_t
+MemorySystem::run(TraceSource &src)
+{
+    std::uint64_t n = 0;
+    MemAccess a;
+    while (src.next(a)) {
+        processAccess(a);
+        ++n;
+    }
+    return n;
+}
+
+SystemResults
+MemorySystem::finish()
+{
+    if (!finished_) {
+        if (engine_)
+            engine_->finalize();
+        finished_ = true;
+    }
+
+    SystemResults r;
+    r.instructionRefs = l1_.icache().accesses();
+    r.dataRefs = l1_.dcache().accesses();
+    r.swPrefetches = swPrefetches_.value();
+    r.swPrefetchesIssued = swPrefetchesIssued_.value();
+    r.swPrefetchesRedundant = swPrefetchesRedundant_.value();
+    r.references = r.instructionRefs + r.dataRefs + r.swPrefetches;
+    r.l1Misses = l1_.misses();
+    r.l1DataMisses = l1_.dcache().misses();
+    r.victimHits = victimHits_.value();
+    r.writebacks = l1_.icache().writebacks() + l1_.dcache().writebacks();
+
+    r.l1MissRatePercent = l1_.missRatePercent();
+    r.l1DataMissRatePercent = l1_.dcache().missRatePercent();
+    r.missesPerInstructionPercent =
+        percent(r.l1DataMisses, r.instructionRefs);
+
+    if (engine_) {
+        const StreamEngineStats &es = engine_->engineStats();
+        r.streamHits = es.hits;
+        r.streamHitRatePercent = es.hitRatePercent();
+        r.extraBandwidthPercent = es.extraBandwidthPercent();
+    }
+    if (l2_) {
+        r.l2Hits = l2_->hits();
+        r.l2Misses = l2_->misses();
+        r.l2LocalHitRatePercent = l2_->localHitRatePercent();
+    }
+
+    r.cycles = cycles_;
+    r.streamHitsReady = streamHitsReady_.value();
+    r.streamHitsPending = streamHitsPending_.value();
+    r.busQueueCycles = busQueueCycles_.value();
+    r.avgAccessCycles =
+        r.references == 0
+            ? 0.0
+            : static_cast<double>(cycles_) /
+                  static_cast<double>(r.references);
+    return r;
+}
+
+} // namespace sbsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The paper's system under study (Figure 1): a commodity processor
+ * with split on-chip caches, backed *only* by stream buffers and main
+ * memory. On-chip misses first compare against the stream buffers; on
+ * a stream hit the block is pulled into the primary cache, otherwise
+ * the fast path fetches it from main memory. Write-backs bypass the
+ * streams and invalidate any stale copies they hold.
+ *
+ * Besides the paper's hit-rate metrics, an optional timing model
+ * quantifies the Section 8 caveat: a "stream hit" whose prefetch has
+ * not yet returned from memory stalls for the residual latency.
+ */
+
+#ifndef STREAMSIM_SIM_MEMORY_SYSTEM_HH
+#define STREAMSIM_SIM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cache/split_cache.hh"
+#include "cache/victim_buffer.hh"
+#include "mem/main_memory.hh"
+#include "mem/translation.hh"
+#include "stream/prefetch_engine.hh"
+#include "trace/source.hh"
+#include "util/stats.hh"
+
+namespace sbsim {
+
+/** Static configuration of the simulated system. */
+struct MemorySystemConfig
+{
+    SplitCacheConfig l1 = SplitCacheConfig::paperDefault();
+    bool useStreams = true;
+    StreamEngineConfig streams;
+
+    /**
+     * Optional unified secondary cache. Three system styles fall out:
+     *  - conventional (useL2, !useStreams): the circa-1993 workstation
+     *    the paper wants to replace;
+     *  - streams-only (!useL2, useStreams): the paper's proposal
+     *    (Figure 1);
+     *  - hybrid (useL2, useStreams): Jouppi's original arrangement,
+     *    streams prefetching out of the secondary cache.
+     */
+    bool useL2 = false;
+    CacheConfig l2 = {1024 * 1024, 4, 64, ReplacementKind::LRU, true,
+                      true, 3};
+    unsigned l2HitCycles = 10;
+
+    unsigned memLatencyCycles = 50;
+    unsigned l1HitCycles = 1;
+    /**
+     * Bus occupancy per block transfer, in cycles (0 = infinite
+     * bandwidth). Demand fetches, prefetches and write-backs all
+     * occupy the bus; when prefetch traffic saturates it, demand
+     * fetches queue behind — the cost the paper's extra-bandwidth
+     * metric stands in for.
+     */
+    unsigned busCyclesPerBlock = 0;
+    /** Stream hit service time; small because there is no RAM lookup
+     *  (Section 8). */
+    unsigned streamHitCycles = 2;
+    /**
+     * Jouppi victim buffer between the data cache and the streams
+     * (Section 4.1: needed to absorb conflict misses when the primary
+     * cache is direct-mapped). 0 disables it.
+     */
+    std::uint32_t victimBufferEntries = 0;
+    unsigned victimHitCycles = 2;
+    /**
+     * Virtual-to-physical page mapping applied to every reference.
+     * IDENTITY reproduces the paper; SHUFFLED models an OS's scattered
+     * frame allocation, which fragments strides beyond one page and
+     * stresses the (physically-addressed) czone detector.
+     */
+    TranslationMode translation = TranslationMode::IDENTITY;
+    unsigned pageBits = 12;
+    std::uint64_t translationSeed = 0x9e3779b97f4a7c15ULL;
+};
+
+/** Aggregated results of one simulation run. */
+struct SystemResults
+{
+    std::uint64_t references = 0;
+    std::uint64_t instructionRefs = 0;
+    std::uint64_t dataRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l1DataMisses = 0;
+    std::uint64_t streamHits = 0;
+    std::uint64_t victimHits = 0;
+    std::uint64_t writebacks = 0;
+
+    double l1MissRatePercent = 0;
+    double l1DataMissRatePercent = 0;
+    double missesPerInstructionPercent = 0;
+    double streamHitRatePercent = 0;
+    double extraBandwidthPercent = 0;
+
+    /** Secondary cache outcomes (zero without an L2). */
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    double l2LocalHitRatePercent = 0;
+
+    /** Software-prefetch instruction outcomes (zero unless the trace
+     *  contains PREFETCH references). */
+    std::uint64_t swPrefetches = 0;
+    std::uint64_t swPrefetchesIssued = 0;    ///< Fetched a block.
+    std::uint64_t swPrefetchesRedundant = 0; ///< Block already cached.
+
+    /** Timing model outputs. */
+    std::uint64_t cycles = 0;
+    std::uint64_t streamHitsReady = 0;   ///< Data had returned in time.
+    std::uint64_t streamHitsPending = 0; ///< Stalled on in-flight data.
+    std::uint64_t busQueueCycles = 0;    ///< Demand time lost queueing.
+    double avgAccessCycles = 0;
+};
+
+/** L1 + stream buffers + main memory, driven by a reference trace. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemorySystemConfig &config);
+
+    /** Simulate one reference. */
+    void processAccess(const MemAccess &access);
+
+    /** Drain @p src through the system. @return references processed. */
+    std::uint64_t run(TraceSource &src);
+
+    /**
+     * Flush streams and collect results. Safe to call repeatedly; the
+     * system cannot process further accesses afterwards.
+     */
+    SystemResults finish();
+
+    const SplitCache &l1() const { return l1_; }
+    const Cache *l2() const { return l2_.get(); }
+    const MainMemory &memory() const { return memory_; }
+    const PrefetchEngine *engine() const { return engine_.get(); }
+    PrefetchEngine *engine() { return engine_.get(); }
+    const VictimBuffer *victimBuffer() const
+    {
+        return victimBuffer_.get();
+    }
+
+    /** Distribution of stream lengths (Table 3); empty w/o streams. */
+    const BucketedDistribution *lengthDistribution() const
+    {
+        return engine_ ? &engine_->lengthDistribution() : nullptr;
+    }
+
+  private:
+    /** Handle an eviction: via the victim buffer when present. */
+    void handleEviction(const CacheResult &result);
+
+    /** A dirty block leaves the chip for memory. */
+    void writebackToMemory(BlockAddr block);
+
+    /** Occupy the bus for one block; @return the queueing delay. */
+    std::uint64_t occupyBus();
+
+    /**
+     * Fetch one block below the streams: from the L2 when present
+     * and hit, otherwise from main memory.
+     * @return the latency the requester sees.
+     */
+    std::uint64_t fetchBlock(const MemAccess &access, TrafficKind kind);
+
+    MemorySystemConfig config_;
+    PageMapper pageMapper_;
+    SplitCache l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<PrefetchEngine> engine_;
+    std::unique_ptr<VictimBuffer> victimBuffer_;
+    MainMemory memory_;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t busFreeAt_ = 0;
+    Counter streamHitsReady_;
+    Counter streamHitsPending_;
+    Counter victimHits_;
+    Counter busQueueCycles_;
+    Counter swPrefetches_;
+    Counter swPrefetchesIssued_;
+    Counter swPrefetchesRedundant_;
+    bool finished_ = false;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_SIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,103 @@
+#include "czone_filter.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+CzoneFilter::CzoneFilter(std::uint32_t entries, unsigned czone_bits)
+    : slots_(entries), czoneBits_(czone_bits)
+{
+    SBSIM_ASSERT(entries > 0, "czone filter needs entries");
+    SBSIM_ASSERT(czone_bits > 0 && czone_bits < 64,
+                 "czone bits out of range: ", czone_bits);
+}
+
+void
+CzoneFilter::setCzoneBits(unsigned bits)
+{
+    SBSIM_ASSERT(bits > 0 && bits < 64, "czone bits out of range: ", bits);
+    czoneBits_ = bits;
+    // Changing the partition geometry invalidates in-flight detection.
+    for (auto &s : slots_)
+        s.valid = false;
+}
+
+CzoneFilter::Slot *
+CzoneFilter::find(Addr tag)
+{
+    for (auto &s : slots_)
+        if (s.valid && s.tag == tag)
+            return &s;
+    return nullptr;
+}
+
+CzoneFilter::Slot &
+CzoneFilter::victim()
+{
+    Slot *best = &slots_[0];
+    for (auto &s : slots_) {
+        if (!s.valid)
+            return s;
+        if (s.tick < best->tick)
+            best = &s;
+    }
+    return *best;
+}
+
+std::optional<StrideAllocation>
+CzoneFilter::onMiss(Addr a)
+{
+    ++lookups_;
+    Addr tag = tagOf(a);
+    Slot *slot = find(tag);
+
+    if (!slot) {
+        // INVALID -> META1: start tracking this partition.
+        Slot &s = victim();
+        s = {tag, a, 0, ++tick_, State::META1, true};
+        return std::nullopt;
+    }
+
+    slot->tick = ++tick_;
+    std::int64_t delta =
+        static_cast<std::int64_t>(a) -
+        static_cast<std::int64_t>(slot->lastAddr);
+
+    if (delta == 0)
+        return std::nullopt; // Repeated address; no new information.
+
+    if (slot->state == State::META1) {
+        // META1 -> META2: record the first stride guess.
+        slot->stride = delta;
+        slot->lastAddr = a;
+        slot->state = State::META2;
+        return std::nullopt;
+    }
+
+    // META2: verify the guess.
+    if (delta == slot->stride) {
+        StrideAllocation alloc;
+        alloc.startAddr = a;
+        alloc.stride = slot->stride;
+        slot->valid = false; // Entry freed once the stream is detected.
+        ++allocations_;
+        return alloc;
+    }
+
+    // Wrong guess: adopt the new delta and keep verifying.
+    slot->stride = delta;
+    slot->lastAddr = a;
+    return std::nullopt;
+}
+
+void
+CzoneFilter::reset()
+{
+    for (auto &s : slots_)
+        s = Slot{};
+    tick_ = 0;
+    lookups_.reset();
+    allocations_.reset();
+}
+
+} // namespace sbsim

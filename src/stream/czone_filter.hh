@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Non-unit-stride detection by address-space partitioning (Section 7,
+ * Figures 6 and 7). The physical address is split into a tag and a
+ * low-order *czone* (concentration zone) whose size is set at run time
+ * (in hardware via a memory-mapped mask register). References whose
+ * tags match fall in the same partition and are assumed to belong to
+ * the same array; a per-partition finite state machine verifies that
+ * three consecutive references are equally strided, and only then is a
+ * stream allocated with that stride.
+ *
+ * FSM (Figure 7):
+ *   INVALID --miss a--> META1 (last_addr = a)
+ *   META1   --miss a--> META2 (stride = a - last_addr, last_addr = a)
+ *   META2   --miss a--> allocate if a - last_addr == stride,
+ *                       else stay in META2 with updated guess.
+ */
+
+#ifndef STREAMSIM_STREAM_CZONE_FILTER_HH
+#define STREAMSIM_STREAM_CZONE_FILTER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/types.hh"
+#include "util/stats.hh"
+
+namespace sbsim {
+
+/** A verified strided stream ready for allocation. */
+struct StrideAllocation
+{
+    Addr startAddr = 0;      ///< First address to prefetch from.
+    std::int64_t stride = 0; ///< Verified stride in bytes.
+};
+
+/** Partition-based constant-stride detector. */
+class CzoneFilter
+{
+  public:
+    /**
+     * @param entries Number of partition slots (paper: 16).
+     * @param czone_bits Low-order bits forming the concentration zone;
+     *        references sharing the remaining high (tag) bits fall in
+     *        the same partition.
+     */
+    CzoneFilter(std::uint32_t entries, unsigned czone_bits);
+
+    unsigned czoneBits() const { return czoneBits_; }
+
+    /** Adjust the czone size at run time (the memory-mapped mask). */
+    void setCzoneBits(unsigned bits);
+
+    /**
+     * Process a miss that eluded the unit-stride filter. Advances the
+     * partition's FSM; returns an allocation when a constant stride
+     * has been verified by three references (the entry is then freed).
+     */
+    std::optional<StrideAllocation> onMiss(Addr a);
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t allocations() const { return allocations_.value(); }
+
+    void reset();
+
+  private:
+    enum class State : std::uint8_t
+    {
+        META1, ///< One reference seen.
+        META2, ///< Stride guess recorded, awaiting verification.
+    };
+
+    struct Slot
+    {
+        Addr tag = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        std::uint64_t tick = 0;
+        State state = State::META1;
+        bool valid = false;
+    };
+
+    Addr tagOf(Addr a) const { return a >> czoneBits_; }
+    Slot *find(Addr tag);
+    Slot &victim();
+
+    std::vector<Slot> slots_;
+    unsigned czoneBits_;
+    std::uint64_t tick_ = 0;
+    Counter lookups_;
+    Counter allocations_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_STREAM_CZONE_FILTER_HH

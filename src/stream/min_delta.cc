@@ -1,0 +1,58 @@
+#include "min_delta.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+MinDeltaDetector::MinDeltaDetector(std::uint32_t entries,
+                                   std::uint64_t max_stride)
+    : slots_(entries), maxStride_(max_stride)
+{
+    SBSIM_ASSERT(entries > 0, "min-delta detector needs entries");
+}
+
+std::optional<StrideAllocation>
+MinDeltaDetector::onMiss(Addr a)
+{
+    ++lookups_;
+
+    bool found = false;
+    std::int64_t best = 0;
+    for (const auto &s : slots_) {
+        if (!s.valid)
+            continue;
+        std::int64_t delta = static_cast<std::int64_t>(a) -
+                             static_cast<std::int64_t>(s.addr);
+        if (delta == 0)
+            continue;
+        if (!found || std::llabs(delta) < std::llabs(best)) {
+            best = delta;
+            found = true;
+        }
+    }
+
+    slots_[nextVictim_] = {a, true};
+    nextVictim_ = (nextVictim_ + 1) % slots_.size();
+
+    if (!found ||
+        static_cast<std::uint64_t>(std::llabs(best)) > maxStride_) {
+        return std::nullopt;
+    }
+
+    ++allocations_;
+    return StrideAllocation{a, best};
+}
+
+void
+MinDeltaDetector::reset()
+{
+    for (auto &s : slots_)
+        s = Slot{};
+    nextVictim_ = 0;
+    lookups_.reset();
+    allocations_.reset();
+}
+
+} // namespace sbsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The "minimum delta" non-unit-stride scheme sketched in Section 7 as
+ * an alternative to czone partitioning: keep the last N stream-miss
+ * addresses in a history buffer; on the next stream miss, the minimum
+ * signed distance (delta) to any buffered address becomes the stride
+ * of a newly allocated stream. The paper found its performance similar
+ * to the partition scheme but its hardware (N subtractions and a
+ * minimum reduction per miss) less attractive.
+ */
+
+#ifndef STREAMSIM_STREAM_MIN_DELTA_HH
+#define STREAMSIM_STREAM_MIN_DELTA_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/types.hh"
+#include "stream/czone_filter.hh"
+#include "util/stats.hh"
+
+namespace sbsim {
+
+/** History-buffer minimum-delta stride detector. */
+class MinDeltaDetector
+{
+  public:
+    /**
+     * @param entries History depth.
+     * @param max_stride Deltas larger than this (in bytes) are treated
+     *        as unrelated references and do not allocate.
+     */
+    explicit MinDeltaDetector(std::uint32_t entries,
+                              std::uint64_t max_stride = 1 << 20);
+
+    /**
+     * Process a stream miss. Returns a stride allocation when a
+     * plausible delta exists; always records @p a in the history.
+     */
+    std::optional<StrideAllocation> onMiss(Addr a);
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t allocations() const { return allocations_.value(); }
+
+    void reset();
+
+  private:
+    struct Slot
+    {
+        Addr addr = 0;
+        bool valid = false;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint32_t nextVictim_ = 0;
+    std::uint64_t maxStride_;
+    Counter lookups_;
+    Counter allocations_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_STREAM_MIN_DELTA_HH

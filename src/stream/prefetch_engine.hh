@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The stream-buffer prefetch engine: composes the multi-way stream set
+ * with the unit-stride allocation filter (Section 6) and a non-unit
+ * stride detector (Section 7), and keeps the statistics the paper
+ * reports — stream hit rate, extra bandwidth (EB) and the stream
+ * length distribution (Table 3).
+ *
+ * Reference handling on every primary-cache miss:
+ *   1. compare the miss address against every stream head; on a hit
+ *      the block moves to the primary cache and the stream prefetches
+ *      one replacement block;
+ *   2. on a stream miss, decide whether to (re)allocate a stream:
+ *      - ALWAYS policy: reallocate the LRU stream at the miss target
+ *        (Jouppi's original behaviour, Section 5);
+ *      - UNIT_FILTER policy: allocate only when the unit-stride filter
+ *        verifies misses to two consecutive blocks; references that
+ *        also miss in the unit filter optionally fall through to the
+ *        czone or minimum-delta stride detector.
+ */
+
+#ifndef STREAMSIM_STREAM_PREFETCH_ENGINE_HH
+#define STREAMSIM_STREAM_PREFETCH_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mem/block.hh"
+#include "mem/types.hh"
+#include "stream/czone_filter.hh"
+#include "stream/min_delta.hh"
+#include "stream/stream_set.hh"
+#include "stream/unit_filter.hh"
+#include "util/stats.hh"
+
+namespace sbsim {
+
+/** When is a stream (re)allocated on a stream miss? */
+enum class AllocationPolicy : std::uint8_t
+{
+    ALWAYS,      ///< Every stream miss reallocates (Section 5).
+    UNIT_FILTER, ///< Only after two consecutive-block misses (Sec. 6).
+};
+
+/** Which non-unit-stride detector backs the unit filter? */
+enum class StrideDetection : std::uint8_t
+{
+    NONE,
+    CZONE,     ///< Partition scheme of Section 7.
+    MIN_DELTA, ///< Alternative scheme of Section 7.
+};
+
+/** Static configuration of the prefetch engine. */
+struct StreamEngineConfig
+{
+    std::uint32_t numStreams = 10;
+    std::uint32_t depth = 2;       ///< Paper default (Section 3).
+    std::uint32_t blockSize = 32;
+    /** Victim choice on reallocation (paper: LRU; Section 3). */
+    StreamReplacement replacement = StreamReplacement::LRU;
+    AllocationPolicy allocation = AllocationPolicy::ALWAYS;
+    std::uint32_t unitFilterEntries = 16;
+    StrideDetection strideDetection = StrideDetection::NONE;
+    std::uint32_t strideFilterEntries = 16;
+    unsigned czoneBits = 18;
+    std::uint64_t minDeltaMaxStride = 1 << 20;
+    /** Split streams into separate I and D banks (ablation; the paper
+     *  found this not beneficial). */
+    bool partitioned = false;
+    /**
+     * Match non-head FIFO entries too (Jouppi's quasi-sequential
+     * variant; ablation). The paper uses head-only comparison, which
+     * needs one comparator per stream instead of one per entry.
+     */
+    bool associativeLookup = false;
+};
+
+/** Outcome of presenting one primary-cache miss to the engine. */
+struct EngineOutcome
+{
+    bool streamHit = false;
+    std::uint64_t issueTick = 0;      ///< When the hit block's prefetch
+                                      ///< was issued (timing model).
+    std::uint32_t prefetchesIssued = 0; ///< New blocks sent to memory.
+    bool allocated = false;           ///< A stream was (re)allocated.
+};
+
+/** Aggregated engine statistics. */
+struct StreamEngineStats
+{
+    std::uint64_t lookups = 0;       ///< Primary-cache misses seen.
+    std::uint64_t hits = 0;          ///< Stream hits.
+    std::uint64_t streamMisses = 0;  ///< Missed streams too.
+    std::uint64_t allocations = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t uselessFlushed = 0;
+    std::uint64_t uselessInvalidated = 0;
+
+    double hitRatePercent() const { return percent(hits, lookups); }
+
+    /** Useless prefetched blocks as % of the program's own demand
+     *  fetches — the paper's EB metric. */
+    double
+    extraBandwidthPercent() const
+    {
+        return percent(uselessFlushed + uselessInvalidated, lookups);
+    }
+};
+
+/** Stream buffers + filters + accounting. */
+class PrefetchEngine
+{
+  public:
+    explicit PrefetchEngine(const StreamEngineConfig &config);
+
+    const StreamEngineConfig &config() const { return config_; }
+
+    /**
+     * Present one primary-cache miss.
+     * @param access The missing reference.
+     * @param now Simulation tick (for prefetch timestamps).
+     */
+    EngineOutcome onPrimaryMiss(const MemAccess &access, std::uint64_t now);
+
+    /**
+     * Block addresses of the prefetches issued by the most recent
+     * onPrimaryMiss call (matches EngineOutcome::prefetchesIssued).
+     * The memory side uses these to route prefetches through a
+     * secondary cache and onto the bus.
+     */
+    const std::vector<BlockAddr> &lastIssuedBlocks() const
+    {
+        return lastIssued_;
+    }
+
+    /** A write-back is passing to memory: invalidate stale copies. */
+    void onWriteback(BlockAddr block);
+
+    /**
+     * Flush all streams and fold the leftovers into the statistics.
+     * Call once at end of simulation before reading stats.
+     */
+    void finalize();
+
+    /** Adjust the czone size at run time (Figure 9 sweep). */
+    void setCzoneBits(unsigned bits);
+
+    const StreamEngineStats &engineStats() const { return stats_; }
+
+    /** Distribution of stream lengths, weighted by hits (Table 3). */
+    const BucketedDistribution &lengthDistribution() const
+    {
+        return lengthDist_;
+    }
+
+    /** The unit filter, when configured (tests / reporting). */
+    const UnitStrideFilter *unitFilter() const { return unitFilter_.get(); }
+    const CzoneFilter *czoneFilter() const { return czoneFilter_.get(); }
+    const MinDeltaDetector *minDelta() const { return minDelta_.get(); }
+
+    /** Export counters for reporting. */
+    StatGroup stats() const;
+
+    void reset();
+
+  private:
+    StreamSet &setFor(const MemAccess &access);
+    void accountAllocation(const StreamAllocation &alloc);
+    void recordRun(const StreamFlush &flushed);
+
+    StreamEngineConfig config_;
+    BlockMapper mapper_;
+    std::unique_ptr<StreamSet> dataStreams_;
+    std::unique_ptr<StreamSet> instStreams_; ///< Only when partitioned.
+    std::unique_ptr<UnitStrideFilter> unitFilter_;
+    std::unique_ptr<CzoneFilter> czoneFilter_;
+    std::unique_ptr<MinDeltaDetector> minDelta_;
+
+    StreamEngineStats stats_;
+    BucketedDistribution lengthDist_;
+    std::vector<BlockAddr> lastIssued_;
+    bool finalized_ = false;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_STREAM_PREFETCH_ENGINE_HH

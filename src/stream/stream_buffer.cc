@@ -1,0 +1,164 @@
+#include "stream_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+StreamBuffer::StreamBuffer(std::uint32_t depth, std::uint32_t block_size)
+    : mapper_(block_size), depth_(depth), entries_(depth)
+{
+    SBSIM_ASSERT(depth > 0, "stream depth must be nonzero");
+}
+
+BlockAddr
+StreamBuffer::issuePrefetch(std::uint64_t now)
+{
+    SBSIM_ASSERT(count_ < depth_, "prefetch into a full stream");
+    // Advance until the prefetch address leaves the last queued block,
+    // so every FIFO entry names a distinct cache block even when the
+    // stride is smaller than a block.
+    BlockAddr block = mapper_.blockBase(nextAddr_);
+    while (block == lastBlock_) {
+        nextAddr_ += static_cast<Addr>(stride_);
+        block = mapper_.blockBase(nextAddr_);
+    }
+    nextAddr_ += static_cast<Addr>(stride_);
+    lastBlock_ = block;
+
+    std::uint32_t slot = (head_ + count_) % depth_;
+    entries_[slot] = {block, now, true};
+    ++count_;
+    return block;
+}
+
+StreamFlush
+StreamBuffer::allocate(Addr miss_addr, std::int64_t stride_bytes,
+                       std::uint64_t now, std::vector<BlockAddr> &issued_out)
+{
+    SBSIM_ASSERT(stride_bytes != 0, "stream stride must be nonzero");
+
+    StreamFlush flushed = drain();
+
+    active_ = true;
+    stride_ = stride_bytes;
+    nextAddr_ = miss_addr + static_cast<Addr>(stride_);
+    lastBlock_ = mapper_.blockBase(miss_addr);
+    hitRun_ = 0;
+
+    for (std::uint32_t i = 0; i < depth_; ++i)
+        issued_out.push_back(issuePrefetch(now));
+    return flushed;
+}
+
+bool
+StreamBuffer::probeHead(Addr a) const
+{
+    if (!active_ || count_ == 0)
+        return false;
+    const Entry &head = entries_[head_];
+    return head.valid && head.block == mapper_.blockBase(a);
+}
+
+int
+StreamBuffer::probeAny(Addr a) const
+{
+    if (!active_)
+        return -1;
+    BlockAddr block = mapper_.blockBase(a);
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        const Entry &e = entries_[(head_ + i) % depth_];
+        if (e.valid && e.block == block)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+StreamConsume
+StreamBuffer::consumeHead(std::uint64_t now)
+{
+    SBSIM_ASSERT(active_ && count_ > 0 && entries_[head_].valid,
+                 "consumeHead without a valid head");
+    StreamConsume result;
+    result.block = entries_[head_].block;
+    result.issueTick = entries_[head_].issueTick;
+
+    entries_[head_].valid = false;
+    head_ = (head_ + 1) % depth_;
+    --count_;
+    ++hitRun_;
+
+    result.refillBlock = issuePrefetch(now);
+    result.refillIssued = true;
+    return result;
+}
+
+StreamConsume
+StreamBuffer::consumeAt(int position, std::uint64_t now,
+                        std::uint32_t &skipped_out)
+{
+    SBSIM_ASSERT(position >= 0 &&
+                     static_cast<std::uint32_t>(position) < count_,
+                 "consumeAt out of range");
+    // Discard bypassed entries ahead of the hit.
+    for (int i = 0; i < position; ++i) {
+        Entry &e = entries_[head_];
+        if (e.valid)
+            ++skipped_out;
+        e.valid = false;
+        head_ = (head_ + 1) % depth_;
+        --count_;
+    }
+
+    StreamConsume result;
+    result.block = entries_[head_].block;
+    result.issueTick = entries_[head_].issueTick;
+    entries_[head_].valid = false;
+    head_ = (head_ + 1) % depth_;
+    --count_;
+    ++hitRun_;
+
+    // Refill the FIFO to full depth.
+    result.refillBlock = issuePrefetch(now);
+    result.refillIssued = true;
+    while (count_ < depth_)
+        result.extraRefills.push_back(issuePrefetch(now));
+    return result;
+}
+
+std::uint32_t
+StreamBuffer::invalidate(BlockAddr block)
+{
+    if (!active_)
+        return 0;
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        Entry &e = entries_[(head_ + i) % depth_];
+        if (e.valid && e.block == block) {
+            e.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
+StreamFlush
+StreamBuffer::drain()
+{
+    StreamFlush result;
+    result.wasActive = active_;
+    result.hitRun = hitRun_;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        Entry &e = entries_[(head_ + i) % depth_];
+        if (e.valid)
+            ++result.uselessPrefetches;
+        e.valid = false;
+    }
+    head_ = 0;
+    count_ = 0;
+    active_ = false;
+    stride_ = 0;
+    hitRun_ = 0;
+    return result;
+}
+
+} // namespace sbsim

@@ -1,0 +1,111 @@
+#include "stream_set.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+StreamSet::StreamSet(std::uint32_t num_streams, std::uint32_t depth,
+                     std::uint32_t block_size,
+                     StreamReplacement replacement)
+    : numStreams_(num_streams),
+      replacement_(replacement),
+      lastUse_(num_streams, 0)
+{
+    SBSIM_ASSERT(num_streams > 0, "need at least one stream");
+    streams_.reserve(num_streams);
+    for (std::uint32_t i = 0; i < num_streams; ++i)
+        streams_.emplace_back(depth, block_size);
+}
+
+StreamLookup
+StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
+{
+    StreamLookup result;
+    for (std::uint32_t i = 0; i < numStreams_; ++i) {
+        if (streams_[i].probeHead(a)) {
+            result.hit = true;
+            result.stream = i;
+            result.consume = streams_[i].consumeHead(now);
+            lastUse_[i] = ++tick_;
+            return result;
+        }
+    }
+    if (associative) {
+        for (std::uint32_t i = 0; i < numStreams_; ++i) {
+            int pos = streams_[i].probeAny(a);
+            if (pos >= 0) {
+                result.hit = true;
+                result.stream = i;
+                result.consume =
+                    streams_[i].consumeAt(pos, now, result.skipped);
+                lastUse_[i] = ++tick_;
+                return result;
+            }
+        }
+    }
+    return result;
+}
+
+std::uint32_t
+StreamSet::victimStream()
+{
+    // Inactive streams are free and picked first under every policy.
+    for (std::uint32_t i = 0; i < numStreams_; ++i)
+        if (!streams_[i].active())
+            return i;
+
+    switch (replacement_) {
+      case StreamReplacement::FIFO: {
+        std::uint32_t v = nextVictim_;
+        nextVictim_ = (nextVictim_ + 1) % numStreams_;
+        return v;
+      }
+      case StreamReplacement::RANDOM:
+        return rng_.below(numStreams_);
+      case StreamReplacement::LRU:
+        break;
+    }
+
+    std::uint32_t best = 0;
+    std::uint64_t best_use = lastUse_[0];
+    for (std::uint32_t i = 1; i < numStreams_; ++i) {
+        if (lastUse_[i] < best_use) {
+            best = i;
+            best_use = lastUse_[i];
+        }
+    }
+    return best;
+}
+
+StreamAllocation
+StreamSet::allocate(Addr miss_addr, std::int64_t stride_bytes,
+                    std::uint64_t now)
+{
+    StreamAllocation result;
+    result.stream = victimStream();
+    result.flushed = streams_[result.stream].allocate(
+        miss_addr, stride_bytes, now, result.issued);
+    lastUse_[result.stream] = ++tick_;
+    return result;
+}
+
+std::uint32_t
+StreamSet::invalidate(BlockAddr block)
+{
+    std::uint32_t n = 0;
+    for (auto &s : streams_)
+        n += s.invalidate(block);
+    return n;
+}
+
+std::vector<StreamFlush>
+StreamSet::drainAll()
+{
+    std::vector<StreamFlush> out;
+    out.reserve(numStreams_);
+    for (auto &s : streams_)
+        out.push_back(s.drain());
+    return out;
+}
+
+} // namespace sbsim

@@ -1,0 +1,42 @@
+#include "unit_filter.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+UnitStrideFilter::UnitStrideFilter(std::uint32_t entries)
+    : slots_(entries)
+{
+    SBSIM_ASSERT(entries > 0, "unit-stride filter needs entries");
+}
+
+bool
+UnitStrideFilter::onStreamMiss(std::uint64_t miss_block)
+{
+    ++lookups_;
+    for (auto &s : slots_) {
+        if (s.valid && s.expectedBlock == miss_block) {
+            // Unit-stride pattern verified; free the entry (it is not
+            // needed for the lifetime of the stream).
+            s.valid = false;
+            ++matches_;
+            return true;
+        }
+    }
+    // Record the expectation of a reference to the following block.
+    slots_[nextVictim_] = {miss_block + 1, true};
+    nextVictim_ = (nextVictim_ + 1) % slots_.size();
+    return false;
+}
+
+void
+UnitStrideFilter::reset()
+{
+    for (auto &s : slots_)
+        s = Slot{};
+    nextVictim_ = 0;
+    lookups_.reset();
+    matches_.reset();
+}
+
+} // namespace sbsim

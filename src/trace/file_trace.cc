@@ -1,0 +1,149 @@
+#include "file_trace.hh"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'T', 'R'};
+constexpr std::uint32_t kVersion = 2; ///< v2 added the PC field.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kRecordSize = 8 + 8 + 1 + 1 + 2;
+
+void
+encodeRecord(const MemAccess &a, std::array<char, kRecordSize> &buf)
+{
+    std::memcpy(buf.data(), &a.addr, 8);
+    std::memcpy(buf.data() + 8, &a.pc, 8);
+    buf[16] = static_cast<char>(a.type);
+    buf[17] = static_cast<char>(a.size);
+    buf[18] = 0;
+    buf[19] = 0;
+}
+
+bool
+decodeRecord(const std::array<char, kRecordSize> &buf, MemAccess &a)
+{
+    std::memcpy(&a.addr, buf.data(), 8);
+    std::memcpy(&a.pc, buf.data() + 8, 8);
+    auto raw_type = static_cast<std::uint8_t>(buf[16]);
+    if (raw_type > static_cast<std::uint8_t>(AccessType::PREFETCH))
+        return false;
+    a.type = static_cast<AccessType>(raw_type);
+    a.size = static_cast<std::uint8_t>(buf[17]);
+    return true;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        SBSIM_FATAL("cannot open trace file for writing: ", path);
+    open_ = true;
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::writeHeader()
+{
+    out_.seekp(0);
+    out_.write(kMagic, 4);
+    std::uint32_t version = kVersion;
+    out_.write(reinterpret_cast<const char *>(&version), 4);
+    out_.write(reinterpret_cast<const char *>(&count_), 8);
+}
+
+void
+TraceWriter::append(const MemAccess &access)
+{
+    SBSIM_ASSERT(open_, "append on a closed TraceWriter");
+    std::array<char, kRecordSize> buf;
+    encodeRecord(access, buf);
+    out_.write(buf.data(), buf.size());
+    ++count_;
+}
+
+std::uint64_t
+TraceWriter::appendAll(TraceSource &src)
+{
+    std::uint64_t n = 0;
+    MemAccess a;
+    while (src.next(a)) {
+        append(a);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceWriter::close()
+{
+    if (!open_)
+        return;
+    writeHeader();
+    out_.close();
+    open_ = false;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        SBSIM_FATAL("cannot open trace file for reading: ", path);
+    readHeader();
+}
+
+void
+TraceReader::readHeader()
+{
+    char magic[4];
+    in_.read(magic, 4);
+    if (!in_ || std::memcmp(magic, kMagic, 4) != 0)
+        SBSIM_FATAL("bad trace magic in ", path_);
+    std::uint32_t version = 0;
+    in_.read(reinterpret_cast<char *>(&version), 4);
+    if (!in_ || version != kVersion)
+        SBSIM_FATAL("unsupported trace version in ", path_);
+    in_.read(reinterpret_cast<char *>(&count_), 8);
+    if (!in_)
+        SBSIM_FATAL("truncated trace header in ", path_);
+}
+
+bool
+TraceReader::next(MemAccess &out)
+{
+    if (pos_ >= count_)
+        return false;
+    std::array<char, kRecordSize> buf;
+    in_.read(buf.data(), buf.size());
+    if (!in_) {
+        SBSIM_WARN("trace file ", path_, " truncated at record ", pos_);
+        pos_ = count_;
+        return false;
+    }
+    if (!decodeRecord(buf, out))
+        SBSIM_FATAL("corrupt record ", pos_, " in ", path_);
+    ++pos_;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(kHeaderSize);
+    pos_ = 0;
+}
+
+} // namespace sbsim

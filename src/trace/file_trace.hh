@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Binary trace file format plus reader/writer. The format is a small
+ * fixed header followed by fixed-width little-endian records:
+ *
+ *   header:  magic "SBTR" | u32 version | u64 record count
+ *   record:  u64 address  | u8 type     | u8 size | u16 pad
+ *
+ * This substitutes for the paper's Shade trace files: traces can be
+ * captured once from a workload generator and replayed into many
+ * simulator configurations.
+ */
+
+#ifndef STREAMSIM_TRACE_FILE_TRACE_HH
+#define STREAMSIM_TRACE_FILE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace sbsim {
+
+/** Streams MemAccess records into a binary trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Finalizes the header (record count) on destruction. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const MemAccess &access);
+
+    /** Copy every remaining record of @p src. @return records written. */
+    std::uint64_t appendAll(TraceSource &src);
+
+    /** Flush and finalize the header early. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    void writeHeader();
+
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+    bool open_ = false;
+};
+
+/** Replays a binary trace file as a TraceSource. */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal on missing file or bad header. */
+    explicit TraceReader(const std::string &path);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+
+    /** Total records according to the header. */
+    std::uint64_t recordCount() const { return count_; }
+
+  private:
+    void readHeader();
+
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_FILE_TRACE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The TraceSource interface: a pull-based stream of memory references.
+ * Workload generators, trace-file readers and samplers all implement
+ * it, so simulators are agnostic to where references come from — the
+ * same role Shade traces played for the paper.
+ */
+
+#ifndef STREAMSIM_TRACE_SOURCE_HH
+#define STREAMSIM_TRACE_SOURCE_HH
+
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace sbsim {
+
+/** A pull-based producer of memory references. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param out Filled with the reference when available.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Rewind to the beginning, if the source supports it. */
+    virtual void reset() = 0;
+};
+
+/** A TraceSource over an in-memory vector; used heavily by tests. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<MemAccess> accesses)
+        : accesses_(std::move(accesses))
+    {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (pos_ >= accesses_.size())
+            return false;
+        out = accesses_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::size_t size() const { return accesses_.size(); }
+
+  private:
+    std::vector<MemAccess> accesses_;
+    std::size_t pos_ = 0;
+};
+
+/** Drain an entire source into a vector (testing / small traces only). */
+inline std::vector<MemAccess>
+drain(TraceSource &src)
+{
+    std::vector<MemAccess> out;
+    MemAccess a;
+    while (src.next(a))
+        out.push_back(a);
+    return out;
+}
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_SOURCE_HH

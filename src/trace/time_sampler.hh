@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Time sampling of reference traces, as in Kessler, Hill & Wood [11]
+ * and Section 4.1 of the paper: tracing is switched on for `on_count`
+ * references and off for `off_count`, so only a fraction of the trace
+ * reaches the simulator. The paper samples 10% with on=10,000 and
+ * off=90,000.
+ */
+
+#ifndef STREAMSIM_TRACE_TIME_SAMPLER_HH
+#define STREAMSIM_TRACE_TIME_SAMPLER_HH
+
+#include <cstdint>
+
+#include "trace/source.hh"
+#include "util/logging.hh"
+
+namespace sbsim {
+
+/** Passes through windows of references and drops the gaps between. */
+class TimeSampler : public TraceSource
+{
+  public:
+    /**
+     * @param src Underlying source; must outlive the sampler.
+     * @param on_count References passed through per period.
+     * @param off_count References dropped per period.
+     */
+    TimeSampler(TraceSource &src, std::uint64_t on_count = 10000,
+                std::uint64_t off_count = 90000)
+        : src_(src), onCount_(on_count), offCount_(off_count)
+    {
+        SBSIM_ASSERT(on_count > 0, "time sampler needs on_count > 0");
+    }
+
+    bool
+    next(MemAccess &out) override
+    {
+        for (;;) {
+            if (inWindow_ < onCount_) {
+                if (!src_.next(out))
+                    return false;
+                ++inWindow_;
+                ++sampled_;
+                return true;
+            }
+            // Skip the off window.
+            MemAccess dropped;
+            for (std::uint64_t i = 0; i < offCount_; ++i) {
+                if (!src_.next(dropped))
+                    return false;
+                ++skipped_;
+            }
+            inWindow_ = 0;
+        }
+    }
+
+    void
+    reset() override
+    {
+        src_.reset();
+        inWindow_ = 0;
+        sampled_ = 0;
+        skipped_ = 0;
+    }
+
+    std::uint64_t sampledCount() const { return sampled_; }
+    std::uint64_t skippedCount() const { return skipped_; }
+
+  private:
+    TraceSource &src_;
+    std::uint64_t onCount_;
+    std::uint64_t offCount_;
+    std::uint64_t inWindow_ = 0;
+    std::uint64_t sampled_ = 0;
+    std::uint64_t skipped_ = 0;
+};
+
+/** Truncates a source after a fixed number of references. */
+class TruncatingSource : public TraceSource
+{
+  public:
+    TruncatingSource(TraceSource &src, std::uint64_t limit)
+        : src_(src), limit_(limit)
+    {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (emitted_ >= limit_)
+            return false;
+        if (!src_.next(out))
+            return false;
+        ++emitted_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        src_.reset();
+        emitted_ = 0;
+    }
+
+  private:
+    TraceSource &src_;
+    std::uint64_t limit_;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_TIME_SAMPLER_HH

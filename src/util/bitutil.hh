@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator for
+ * address arithmetic.
+ */
+
+#ifndef STREAMSIM_UTIL_BITUTIL_HH
+#define STREAMSIM_UTIL_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace sbsim {
+
+/** True when @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v). @pre v != 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2(v). @pre v != 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask covering the low @p bits bits. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/** Round @p v down to a multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace sbsim
+
+#endif // STREAMSIM_UTIL_BITUTIL_HH

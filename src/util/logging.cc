@@ -1,0 +1,74 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <iostream>
+
+namespace sbsim {
+
+namespace {
+
+/** Default sink: severity-prefixed lines on stderr. */
+class StderrSink : public LogSink
+{
+  public:
+    void
+    message(const std::string &severity, const std::string &text) override
+    {
+        std::cerr << severity << ": " << text << std::endl;
+    }
+};
+
+StderrSink defaultSink;
+LogSink *currentSink = &defaultSink;
+
+} // namespace
+
+LogSink &
+logSink()
+{
+    return *currentSink;
+}
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    LogSink *prev = currentSink;
+    currentSink = sink ? sink : &defaultSink;
+    return prev == &defaultSink ? nullptr : prev;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    currentSink->message("panic", os.str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    currentSink->message("fatal", os.str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    currentSink->message("warn", msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    currentSink->message("info", msg);
+}
+
+} // namespace detail
+
+} // namespace sbsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in the
+ *            simulator itself); aborts so a debugger or core dump can
+ *            capture the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - purely informational status output.
+ */
+
+#ifndef STREAMSIM_UTIL_LOGGING_HH
+#define STREAMSIM_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sbsim {
+
+/** Sink used by the logging helpers; overridable for tests. */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+
+    /** Handle one formatted message of the given severity label. */
+    virtual void message(const std::string &severity,
+                         const std::string &text) = 0;
+};
+
+/** Returns the currently installed log sink (stderr by default). */
+LogSink &logSink();
+
+/**
+ * Install a replacement sink; returns the previous one. Passing nullptr
+ * restores the default stderr sink.
+ */
+LogSink *setLogSink(LogSink *sink);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace sbsim
+
+/** Abort on a simulator bug. Arguments are streamed together. */
+#define SBSIM_PANIC(...) \
+    ::sbsim::detail::panicImpl(__FILE__, __LINE__, \
+                               ::sbsim::detail::format(__VA_ARGS__))
+
+/** Exit(1) on a user error. Arguments are streamed together. */
+#define SBSIM_FATAL(...) \
+    ::sbsim::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::sbsim::detail::format(__VA_ARGS__))
+
+/** Warn but continue. */
+#define SBSIM_WARN(...) \
+    ::sbsim::detail::warnImpl(::sbsim::detail::format(__VA_ARGS__))
+
+/** Informational message. */
+#define SBSIM_INFORM(...) \
+    ::sbsim::detail::informImpl(::sbsim::detail::format(__VA_ARGS__))
+
+/** Internal invariant check; panics with the condition text on failure. */
+#define SBSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SBSIM_PANIC("assertion '", #cond, "' failed. ", \
+                        ::sbsim::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // STREAMSIM_UTIL_LOGGING_HH

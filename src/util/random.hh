@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator never uses std::rand or random_device: every workload
+ * generator and random replacement policy draws from a seeded Pcg32 so
+ * that experiments are exactly reproducible run to run.
+ */
+
+#ifndef STREAMSIM_UTIL_RANDOM_HH
+#define STREAMSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace sbsim {
+
+/**
+ * PCG-XSH-RR 32-bit generator (O'Neill, 2014). Small state, good
+ * statistical quality, fully deterministic from the seed.
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        auto rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** Uniform value in [0, bound). @pre bound != 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Debiased modulo via rejection sampling.
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_UTIL_RANDOM_HH

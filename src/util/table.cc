@@ -1,0 +1,113 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace sbsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SBSIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    SBSIM_ASSERT(cells.size() == headers_.size(),
+                 "row has ", cells.size(), " cells, expected ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // First column left-aligned (names); the rest right-aligned.
+            if (c == 0)
+                os << std::left << std::setw(static_cast<int>(widths[c]));
+            else
+                os << std::right << std::setw(static_cast<int>(widths[c]));
+            os << cells[c];
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            const std::string &cell = cells[c];
+            if (cell.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+fmt(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB"};
+    int unit = 0;
+    std::uint64_t v = bytes;
+    while (v >= 1024 && v % 1024 == 0 && unit < 3) {
+        v /= 1024;
+        ++unit;
+    }
+    return std::to_string(v) + " " + units[unit];
+}
+
+} // namespace sbsim

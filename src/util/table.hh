@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness. Every reproduced
+ * paper table/figure prints through this so the output has a uniform,
+ * diff-friendly format.
+ */
+
+#ifndef STREAMSIM_UTIL_TABLE_HH
+#define STREAMSIM_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sbsim {
+
+/**
+ * Collects rows of string cells under a header and renders them with
+ * per-column widths. Numeric formatting is the caller's concern; the
+ * fmt() helpers below cover the common cases.
+ */
+class TablePrinter
+{
+  public:
+    /** @param headers Column titles, which also fix the column count. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with a separator line under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes around commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fractional digits. */
+std::string fmt(double value, int decimals = 1);
+
+/** Format an integer count. */
+std::string fmt(std::uint64_t value);
+
+/** Format a byte count as "64 KB" / "2 MB" style text. */
+std::string fmtBytes(std::uint64_t bytes);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_UTIL_TABLE_HH

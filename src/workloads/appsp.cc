@@ -1,0 +1,80 @@
+/**
+ * @file
+ * appsp (NAS SP): scalar-pentadiagonal ADI fluid dynamics solver. Each
+ * time step sweeps the solution arrays three times — along x in unit
+ * stride, along y with a stride of one grid row (N*5 doubles) and
+ * along z with a stride of one grid plane (N^2*5 doubles). The paper
+ * singles appsp out as non-unit-stride heavy: unit-only streams reach
+ * ~33%, the czone detector ~65% (Figure 8), and hit rate grows with
+ * grid size (Table 4: 43% at 12^3, 65% at 24^3).
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeAppspSpec(ScaleLevel level)
+{
+    const std::uint64_t n = level == ScaleLevel::SMALL    ? 12
+                            : level == ScaleLevel::LARGE ? 24
+                                                          : 24;
+    const std::uint64_t cell = 5 * 8; // Five doubles per grid point.
+    const std::uint64_t row = n * cell;
+    const std::uint64_t plane = n * row;
+    const std::uint64_t grid = n * plane;
+
+    AddressArena arena;
+    Addr u = arena.alloc(grid);
+    Addr rhs = arena.alloc(grid);
+    Addr lhs = arena.alloc(grid);
+    Addr work = arena.alloc(grid < (1u << 20) ? (1u << 20) : grid);
+    Addr hot = arena.alloc(4096);
+
+    const bool small = level == ScaleLevel::SMALL;
+
+    WorkloadSpec spec;
+    spec.name = "appsp";
+    spec.seed = 0xa5b5b;
+    spec.timeSteps = small ? 16 : 6;
+    spec.hotPerAccess = 3;
+    spec.hotBase = hot;
+    spec.hotBytes = 4096;
+    spec.loopBodyBytes = 2048;
+    // Boundary conditions and coefficient lookups: heavier relative
+    // disturbance at small grids (more surface per volume).
+    spec.noiseEvery = small ? 1 : 3;
+    spec.noiseBase = work;
+    spec.noiseBytes = 1 << 20;
+
+    // x-sweep: contiguous, two interleaved streams.
+    SweepOp xsweep;
+    xsweep.streams = {ld(u), st(rhs)};
+    xsweep.count = grid / kBlock / (small ? 1 : 2);
+    spec.ops.push_back(xsweep);
+
+    // y-sweep: sampled pencils, stride = one row. Successive traced
+    // pencils are spaced a full kilobyte apart: in the real code the
+    // blocks between are evicted by the dozen other arrays swept
+    // concurrently, so each traced pencil misses afresh.
+    SweepOp ysweep;
+    ysweep.streams = {ld(lhs, static_cast<std::int64_t>(row))};
+    ysweep.count = n;
+    ysweep.segments = small ? 200 : 500;
+    ysweep.segmentStride = 1000;
+    spec.ops.push_back(ysweep);
+
+    // z-sweep: sampled pencils, stride = one plane.
+    SweepOp zsweep;
+    zsweep.streams = {ld(u, static_cast<std::int64_t>(plane))};
+    zsweep.count = n;
+    zsweep.segments = small ? 200 : 350;
+    zsweep.segmentStride = 1000;
+    spec.ops.push_back(zsweep);
+    return spec;
+}
+
+} // namespace sbsim

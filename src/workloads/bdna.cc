@@ -1,0 +1,61 @@
+/**
+ * @file
+ * bdna (PERFECT): molecular dynamics of nucleic acids with pair-list
+ * force evaluation. Pair lists give clustered gathers — a few
+ * consecutive blocks of coordinates per interaction partner — layered
+ * over unit-stride sweeps of the coordinate and force arrays, which
+ * puts bdna mid-field: ~65% hit rate with a substantial short-stream
+ * population in the length distribution.
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeBdnaSpec(ScaleLevel level)
+{
+    (void)level;
+    const std::uint64_t coords = 1 << 20; // Coordinate/force arrays.
+
+    AddressArena arena;
+    Addr xyz = arena.alloc(coords);
+    Addr force = arena.alloc(coords);
+    Addr pairs = arena.alloc(512 * 1024);
+    Addr hot = arena.alloc(8192);
+
+    WorkloadSpec spec;
+    spec.name = "bdna";
+    spec.seed = 0xbd7a0;
+    spec.timeSteps = 6;
+    spec.hotPerAccess = 10;
+    spec.hotBase = hot;
+    spec.hotBytes = 8192;
+    spec.loopBodyBytes = 2048;
+    // Neighbour-list rebuild scatter, interleaved with everything.
+    spec.noiseEvery = 8;
+    spec.noiseBase = force;
+    spec.noiseBytes = coords;
+
+    // Pair-list force gathers: 4-block clusters per partner.
+    GatherOp gather;
+    gather.idxBase = pairs;
+    gather.dataBase = xyz;
+    gather.dataRangeBytes = coords;
+    gather.elemSize = 8;
+    gather.clusterLen = 16; // 128 B: four cache blocks.
+    gather.count = 8000;
+    spec.ops.push_back(gather);
+
+    // Integration sweeps: coordinates and forces in unit stride.
+    SweepOp integrate;
+    integrate.streams = {ld(xyz), st(force)};
+    integrate.count = 2000;
+    spec.ops.push_back(integrate);
+    return spec;
+}
+
+} // namespace sbsim

@@ -1,0 +1,151 @@
+#include "benchmark.hh"
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+namespace {
+
+std::string
+fixed(const std::string &s)
+{
+    return s;
+}
+
+/** Helper building a registry entry whose input does not scale. */
+Benchmark
+entry(std::string name, std::string suite, std::string description,
+      WorkloadSpec (*make)(ScaleLevel), std::string input,
+      std::uint64_t data_bytes)
+{
+    Benchmark b;
+    b.name = std::move(name);
+    b.suite = std::move(suite);
+    b.description = std::move(description);
+    b.makeSpec = make;
+    b.inputDescription = [input](ScaleLevel) { return fixed(input); };
+    b.dataSetBytes = [data_bytes](ScaleLevel) { return data_bytes; };
+    return b;
+}
+
+/** Helper for the Table 4 benchmarks whose input scales. */
+Benchmark
+scaledEntry(std::string name, std::string suite, std::string description,
+            WorkloadSpec (*make)(ScaleLevel),
+            std::string small_input, std::string default_input,
+            std::string large_input, std::uint64_t small_bytes,
+            std::uint64_t default_bytes, std::uint64_t large_bytes)
+{
+    Benchmark b;
+    b.name = std::move(name);
+    b.suite = std::move(suite);
+    b.description = std::move(description);
+    b.makeSpec = make;
+    b.inputDescription = [small_input, default_input,
+                          large_input](ScaleLevel level) {
+        switch (level) {
+          case ScaleLevel::SMALL: return small_input;
+          case ScaleLevel::LARGE: return large_input;
+          default: return default_input;
+        }
+    };
+    b.dataSetBytes = [small_bytes, default_bytes,
+                      large_bytes](ScaleLevel level) {
+        switch (level) {
+          case ScaleLevel::SMALL: return small_bytes;
+          case ScaleLevel::LARGE: return large_bytes;
+          default: return default_bytes;
+        }
+    };
+    return b;
+}
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+std::vector<Benchmark>
+buildRegistry()
+{
+    std::vector<Benchmark> v;
+    // NAS suite, Table 1 order.
+    v.push_back(entry("embar", "NAS", "Embarrassingly parallel",
+                      makeEmbarSpec, "-", 1 * kMB));
+    v.push_back(scaledEntry("mgrid", "NAS", "Multigrid kernel",
+                            makeMgridSpec, "32x32x32 grid",
+                            "32x32x32 grid", "64x64x64 grid", 1 * kMB,
+                            1 * kMB, 8 * kMB));
+    v.push_back(scaledEntry(
+        "cgm", "NAS", "Smallest eigenvalue of a sparse matrix",
+        makeCgmSpec, "1400x1400, 78148 nonzeros",
+        "1400x1400, 78148 nonzeros", "5600x5600, 98148 nonzeros",
+        29 * kMB / 10, 29 * kMB / 10, 4 * kMB));
+    v.push_back(entry("fftpde", "NAS", "3-D PDE solver using FFT",
+                      makeFftpdeSpec, "64x64x64 complex array",
+                      147 * kMB / 10));
+    v.push_back(entry("is", "NAS", "Integer sort", makeIsSpec,
+                      "64K integers, maxkey = 2048", 8 * kMB / 10));
+    v.push_back(scaledEntry("appsp", "NAS", "Fluid dynamics (SP)",
+                            makeAppspSpec, "12x12x12 grid",
+                            "24x24x24 grid, 50 iterations",
+                            "24x24x24 grid", 7 * kMB / 10,
+                            22 * kMB / 10, 22 * kMB / 10));
+    v.push_back(scaledEntry("appbt", "NAS", "Fluid dynamics (BT)",
+                            makeAppbtSpec, "12x12x12 grid",
+                            "18x18x18 grid, 30 iterations",
+                            "24x24x24 grid", 12 * kMB / 10,
+                            42 * kMB / 10, 9 * kMB));
+    v.push_back(scaledEntry("applu", "NAS", "Fluid dynamics (LU)",
+                            makeAppluSpec, "12x12x12 grid",
+                            "18x18x18 grid, 50 iterations",
+                            "24x24x24 grid", 8 * kMB / 10,
+                            54 * kMB / 10, 12 * kMB));
+    // PERFECT suite.
+    v.push_back(entry("spec77", "PERFECT", "Weather simulation",
+                      makeSpec77Spec, "64x1x16 grid, 720 time steps",
+                      13 * kMB / 10));
+    v.push_back(entry("adm", "PERFECT", "Air pollution", makeAdmSpec,
+                      "-", 6 * kMB / 10));
+    v.push_back(entry("bdna", "PERFECT", "Nucleic acid simulation",
+                      makeBdnaSpec, "500 molecules, 20 counter ions",
+                      21 * kMB / 10));
+    v.push_back(entry("dyfesm", "PERFECT", "Structural dynamics",
+                      makeDyfesmSpec, "4 elements, 1000 time steps",
+                      1 * kMB / 10));
+    v.push_back(entry("mdg", "PERFECT", "Liquid water simulation",
+                      makeMdgSpec, "343 molecules, 100 time steps",
+                      2 * kMB / 10));
+    v.push_back(entry("qcd", "PERFECT", "Quantum chromodynamics",
+                      makeQcdSpec, "12x12x12x12 lattice",
+                      92 * kMB / 10));
+    v.push_back(entry("trfd", "PERFECT", "Quantum mechanics",
+                      makeTrfdSpec, "-", 8 * kMB));
+    return v;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> registry = buildRegistry();
+    return registry;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : allBenchmarks())
+        if (b.name == name)
+            return b;
+    SBSIM_FATAL("unknown benchmark: ", name);
+}
+
+bool
+hasBenchmark(const std::string &name)
+{
+    for (const auto &b : allBenchmarks())
+        if (b.name == name)
+            return true;
+    return false;
+}
+
+} // namespace sbsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The fifteen NAS / PERFECT benchmark models of Table 1, exposed
+ * through a registry. Each benchmark builds a WorkloadSpec whose
+ * primary-cache miss pattern reproduces the published signature of the
+ * real program: the mix of long unit-stride sweeps, short runs,
+ * constant-stride walks, array indirection and isolated references
+ * that determines stream-buffer behaviour.
+ *
+ * Scale levels select the input size: DEFAULT is the paper's Table 1
+ * input; SMALL and LARGE are the input pairs of the Table 4 scaling
+ * study where the paper defines them (appsp/appbt/applu 12^3 vs 24^3,
+ * cgm 1400 vs 5600, mgrid 32^3 vs 64^3).
+ */
+
+#ifndef STREAMSIM_WORKLOADS_BENCHMARK_HH
+#define STREAMSIM_WORKLOADS_BENCHMARK_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/pattern.hh"
+
+namespace sbsim {
+
+/** Input-size selector. */
+enum class ScaleLevel : std::uint8_t
+{
+    SMALL,
+    DEFAULT,
+    LARGE,
+};
+
+/** Registry entry for one benchmark. */
+struct Benchmark
+{
+    std::string name;
+    std::string suite;       ///< "NAS" or "PERFECT".
+    std::string description; ///< Table 1 description.
+
+    std::function<WorkloadSpec(ScaleLevel)> makeSpec;
+    std::function<std::string(ScaleLevel)> inputDescription;
+    std::function<std::uint64_t(ScaleLevel)> dataSetBytes;
+
+    /** Convenience: build the workload at @p level. */
+    std::unique_ptr<ComposedWorkload>
+    makeWorkload(ScaleLevel level = ScaleLevel::DEFAULT) const
+    {
+        return std::make_unique<ComposedWorkload>(makeSpec(level));
+    }
+};
+
+/** All benchmarks in the paper's Table 1 order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** Look up a benchmark by name; fatal when unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/** True when a benchmark of that name is registered. */
+bool hasBenchmark(const std::string &name);
+
+// Individual spec builders (one translation unit each).
+WorkloadSpec makeEmbarSpec(ScaleLevel level);
+WorkloadSpec makeMgridSpec(ScaleLevel level);
+WorkloadSpec makeCgmSpec(ScaleLevel level);
+WorkloadSpec makeFftpdeSpec(ScaleLevel level);
+WorkloadSpec makeIsSpec(ScaleLevel level);
+WorkloadSpec makeAppspSpec(ScaleLevel level);
+WorkloadSpec makeAppbtSpec(ScaleLevel level);
+WorkloadSpec makeAppluSpec(ScaleLevel level);
+WorkloadSpec makeSpec77Spec(ScaleLevel level);
+WorkloadSpec makeAdmSpec(ScaleLevel level);
+WorkloadSpec makeBdnaSpec(ScaleLevel level);
+WorkloadSpec makeDyfesmSpec(ScaleLevel level);
+WorkloadSpec makeMdgSpec(ScaleLevel level);
+WorkloadSpec makeQcdSpec(ScaleLevel level);
+WorkloadSpec makeTrfdSpec(ScaleLevel level);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_WORKLOADS_BENCHMARK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Internal helpers shared by the benchmark spec builders. Not part of
+ * the public workload API.
+ */
+
+#ifndef STREAMSIM_WORKLOADS_BENCHMARK_UTIL_HH
+#define STREAMSIM_WORKLOADS_BENCHMARK_UTIL_HH
+
+#include "workloads/pattern.hh"
+
+namespace sbsim {
+namespace workload_detail {
+
+/** The primary-cache block size every model assumes. */
+constexpr std::uint32_t kBlock = 32;
+
+/** A load stream sweeping one block per access (compact traces). */
+inline StreamSpec
+ld(Addr base, std::int64_t stride = kBlock)
+{
+    return {base, stride, AccessType::LOAD, 8};
+}
+
+/** A store stream (dirties blocks, generating write-backs). */
+inline StreamSpec
+st(Addr base, std::int64_t stride = kBlock)
+{
+    return {base, stride, AccessType::STORE, 8};
+}
+
+/** Isolated single-block references at random bases: pure stream
+ *  misses that never form a pattern (scatter-style disturbance). */
+inline BurstOp
+isolated(Addr base, std::uint64_t region_bytes, std::uint64_t count)
+{
+    BurstOp op;
+    op.base = base;
+    op.regionBytes = region_bytes;
+    op.bursts = count;
+    op.burstBlocks = 1;
+    op.blockBytes = kBlock;
+    return op;
+}
+
+/** Short unit-stride runs of @p blocks blocks at random bases. */
+inline BurstOp
+shortRuns(Addr base, std::uint64_t region_bytes, std::uint64_t count,
+          std::uint32_t blocks, bool stores = false)
+{
+    BurstOp op;
+    op.base = base;
+    op.regionBytes = region_bytes;
+    op.bursts = count;
+    op.burstBlocks = blocks;
+    op.blockBytes = kBlock;
+    op.stores = stores;
+    return op;
+}
+
+} // namespace workload_detail
+} // namespace sbsim
+
+#endif // STREAMSIM_WORKLOADS_BENCHMARK_UTIL_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * embar (NAS EP): embarrassingly parallel Gaussian-pair generation.
+ * Almost all time is spent in cache-resident computation; the memory
+ * signature is a single long unit-stride walk over the random-number
+ * batch buffer. Stream buffers service nearly every miss (the paper's
+ * best case: ~99% of hits come from streams longer than 20).
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeEmbarSpec(ScaleLevel level)
+{
+    (void)level; // Single input size in the paper.
+    AddressArena arena;
+    const std::uint64_t batch = 1 << 20; // 1 MB random-number buffer.
+    Addr x = arena.alloc(batch);
+    Addr q = arena.alloc(4096); // Tally array: cache resident.
+
+    WorkloadSpec spec;
+    spec.name = "embar";
+    spec.seed = 0xe3ba5;
+    spec.timeSteps = 8;
+    spec.hotPerAccess = 8; // Heavy arithmetic per reference.
+    spec.hotBase = q;
+    spec.hotBytes = 4096;
+    spec.ifetchPerAccess = 1;
+    spec.loopBodyBytes = 512;
+
+    // One long sequential pass per batch.
+    SweepOp sweep;
+    sweep.streams = {ld(x)};
+    sweep.count = batch / kBlock;
+    spec.ops.push_back(sweep);
+
+    // A handful of isolated bookkeeping references per batch.
+    spec.ops.push_back(isolated(x, batch, 96));
+    return spec;
+}
+
+} // namespace sbsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * fftpde (NAS FT): 3-D PDE solver using FFTs on a 64^3 complex array
+ * (16 bytes per element, ~4 MB per array). The x-dimension transform
+ * walks memory contiguously, but the y and z transforms walk with
+ * large power-of-two strides, and each butterfly stage touches two
+ * widely separated streams concurrently. Unit-stride-only streams
+ * catch just the x pass (~26% hit rate, the paper's worst case, with
+ * 158% extra bandwidth); the czone detector recovers the strided
+ * passes and lifts the hit rate to ~71%, provided the czone is large
+ * enough to span three strided references (> ~2x the stride) but
+ * small enough to keep the two butterfly streams in separate
+ * partitions (Figure 9's 16-23 bit window).
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeFftpdeSpec(ScaleLevel level)
+{
+    (void)level; // Single input size in the paper.
+    const std::uint64_t dim = 64;
+    const std::uint64_t elem = 16; // Complex double.
+    const std::uint64_t plane = dim * dim * elem;  // 64 KB
+    const std::uint64_t cube = dim * plane;        // 4 MB
+
+    AddressArena arena;
+    Addr grid = arena.alloc(2 * cube); // Array + butterfly partner.
+    Addr work = arena.alloc(cube);
+    Addr hot = arena.alloc(4096);
+
+    // The butterfly partner stream runs half the array away.
+    const Addr half = cube; // 4 MB = 2^22.
+
+    WorkloadSpec spec;
+    spec.name = "fftpde";
+    spec.seed = 0xff7de;
+    spec.timeSteps = 3;
+    spec.hotPerAccess = 2; // Butterfly arithmetic.
+    spec.hotBase = hot;
+    spec.hotBytes = 4096;
+    spec.loopBodyBytes = 1536;
+    // Index/twiddle bookkeeping scattered across the workspace in
+    // bursts: a burst reallocates every stream buffer, flushing the
+    // active transform streams — the disturbance the allocation
+    // filter protects against.
+    spec.noiseEvery = 60;
+    spec.noiseBurstLen = 10;
+    spec.noiseBase = work;
+    spec.noiseBytes = cube;
+
+    // The three transforms interleave plane by plane (rounds), so the
+    // strided passes' miss churn runs concurrently with the
+    // unit-stride pass — without the allocation filter, that churn
+    // evicts the x-pass streams, which is why the paper found the
+    // filter *raised* fftpde's hit rate.
+    const unsigned rounds = 10;
+    for (unsigned r = 0; r < rounds; ++r) {
+        // x-transform: contiguous walk (sampled), read the grid and
+        // write the workspace.
+        SweepOp xpass;
+        xpass.streams = {ld(grid + r * plane), st(work + r * plane)};
+        xpass.count = cube / kBlock / 15 / rounds;
+        spec.ops.push_back(xpass);
+
+        // y-transform: stride = one row of complex elements
+        // (dim * elem = 1 KB); column by column, butterfly pairs 2^22
+        // apart.
+        SweepOp ypass;
+        ypass.streams = {
+            ld(grid + r * plane,
+               static_cast<std::int64_t>(dim * elem)),
+            ld(grid + half + r * plane,
+               static_cast<std::int64_t>(dim * elem))};
+        ypass.count = dim; // One column.
+        ypass.segments = 23;
+        ypass.segmentStride = 1040; // Sampled non-overlapping columns.
+        spec.ops.push_back(ypass);
+
+        // z-transform: stride = one plane (16 KB), butterfly pairs
+        // 2^22 apart; the czone must exceed ~2*16 KB (15-16 bits) but
+        // stay under 22 bits to keep the pairs separated.
+        SweepOp zpass;
+        zpass.streams = {ld(grid + r * 16 * elem, 16384),
+                         ld(grid + half + r * 16 * elem, 16384)};
+        zpass.count = dim;
+        zpass.segments = 23;
+        zpass.segmentStride = 1040;
+        spec.ops.push_back(zpass);
+
+        // Evolution/checksum: short runs over scattered planes (a
+        // large share of fftpde's unit-stride hits come from short
+        // streams — Table 3 reports 41% in the 1-5 bucket).
+        spec.ops.push_back(shortRuns(grid, cube, 250, 4));
+    }
+    return spec;
+}
+
+} // namespace sbsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * mdg (PERFECT): molecular dynamics of liquid water (343 molecules).
+ * Inner loops gather partner-molecule coordinates in small clusters
+ * and sweep the molecule arrays between force phases; the data set is
+ * tiny (~0.2 MB), so the rare misses are a mix of short gather runs
+ * and scattered references (Table 3 shows a sizeable short-stream
+ * share for mdg).
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeMdgSpec(ScaleLevel level)
+{
+    (void)level;
+    const std::uint64_t region = 224 * 1024;
+
+    AddressArena arena;
+    Addr mol = arena.alloc(region);
+    Addr nbr = arena.alloc(64 * 1024);
+    Addr hot = arena.alloc(8192);
+
+    WorkloadSpec spec;
+    spec.name = "mdg";
+    spec.seed = 0x3d900;
+    spec.timeSteps = 12;
+    spec.hotPerAccess = 30;
+    spec.hotBase = hot;
+    spec.hotBytes = 8192;
+    spec.loopBodyBytes = 2048;
+
+    // Pairwise force gathers: 4-block clusters.
+    GatherOp gather;
+    gather.idxBase = nbr;
+    gather.dataBase = mol;
+    gather.dataRangeBytes = region;
+    gather.elemSize = 8;
+    gather.clusterLen = 16;
+    gather.count = 3000;
+    spec.ops.push_back(gather);
+
+    // Position/velocity update sweeps.
+    SweepOp update;
+    update.streams = {ld(mol), st(mol + region / 2)};
+    update.count = 500;
+    spec.ops.push_back(update);
+
+    // Cutoff-test scatter.
+    spec.ops.push_back(isolated(mol, region, 550));
+    return spec;
+}
+
+} // namespace sbsim

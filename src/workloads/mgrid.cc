@@ -1,0 +1,66 @@
+/**
+ * @file
+ * mgrid (NAS MG): multigrid Poisson solver on a 3-D grid. Each V-cycle
+ * sweeps the residual/correction arrays of every grid level with
+ * 27-point stencils: several interleaved unit-stride streams at the
+ * fine levels, progressively smaller (and eventually cache-resident)
+ * arrays at the coarse levels, plus boundary handling that produces
+ * short runs and isolated references. Table 4 scales the grid from
+ * 32^3 (DEFAULT/SMALL) to 64^3 (LARGE), where longer sweeps improve
+ * the stream hit rate (76% -> 88%).
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeMgridSpec(ScaleLevel level)
+{
+    const std::uint64_t dim = level == ScaleLevel::LARGE ? 64 : 32;
+    const std::uint64_t fine = dim * dim * dim * 8; // doubles
+
+    AddressArena arena;
+    Addr u = arena.alloc(fine);
+    Addr v = arena.alloc(fine);
+    Addr r = arena.alloc(fine);
+    Addr hot = arena.alloc(4096);
+
+    WorkloadSpec spec;
+    spec.name = "mgrid";
+    spec.seed = 0x369d1;
+    spec.timeSteps = level == ScaleLevel::LARGE ? 2 : 8;
+    spec.hotPerAccess = 3;
+    spec.hotBase = hot;
+    spec.hotBytes = 4096;
+    spec.loopBodyBytes = 2048;
+
+    // Smoother/residual passes over three grid levels. Each pass walks
+    // u (read), r (read) and v (write) concurrently: three interleaved
+    // unit-stride streams. The 64^3 grid samples a quarter of each
+    // pass to keep the trace budget comparable.
+    const std::uint64_t sweep_scale = level == ScaleLevel::LARGE ? 4 : 1;
+    for (unsigned level_idx = 0; level_idx < 3; ++level_idx) {
+        std::uint64_t bytes = fine >> (3 * level_idx); // /8 per level
+        SweepOp sweep;
+        sweep.streams = {ld(u), ld(r), st(v)};
+        sweep.count = bytes / kBlock / sweep_scale;
+        spec.ops.push_back(sweep);
+    }
+
+    // Interpolation boundary handling: short runs at plane edges.
+    std::uint64_t row_bytes = dim * 8;
+    spec.ops.push_back(shortRuns(u, fine, dim * 12,
+                                 static_cast<std::uint32_t>(
+                                     row_bytes / kBlock)));
+
+    // Isolated norm/bookkeeping references.
+    spec.ops.push_back(
+        isolated(r, fine, level == ScaleLevel::LARGE ? 9000 : 8000));
+    return spec;
+}
+
+} // namespace sbsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * qcd (PERFECT): lattice quantum chromodynamics on a 12^4 lattice. The
+ * working unit is an SU(3) link matrix (3x3 complex, 144 bytes ~ 4-5
+ * cache blocks), accessed at 4-D neighbour offsets: many short
+ * unit-stride runs over a large (~9 MB) lattice, giving a mid-range
+ * hit rate with roughly half the hits coming from short streams.
+ */
+
+#include "workloads/benchmark.hh"
+#include "workloads/benchmark_util.hh"
+
+namespace sbsim {
+
+using namespace workload_detail;
+
+WorkloadSpec
+makeQcdSpec(ScaleLevel level)
+{
+    (void)level;
+    const std::uint64_t lattice = 9 * (1 << 20); // ~9 MB of links.
+
+    AddressArena arena;
+    Addr links = arena.alloc(lattice);
+    Addr work = arena.alloc(1 << 20);
+    Addr hot = arena.alloc(8192);
+
+    WorkloadSpec spec;
+    spec.name = "qcd";
+    spec.seed = 0x9cd00;
+    spec.timeSteps = 6;
+    spec.hotPerAccess = 14; // SU(3) multiplies are compute heavy.
+    spec.hotBase = hot;
+    spec.hotBytes = 8192;
+    spec.loopBodyBytes = 4096;
+    spec.noiseEvery = 2;
+    spec.noiseBase = work;
+    spec.noiseBytes = 1 << 20;
+
+    // Link-matrix updates: 5-block runs at neighbour offsets.
+    spec.ops.push_back(shortRuns(links, lattice, 2000, 5));
+
+    // Gauge-field sweep phases: longer unit-stride runs.
+    SweepOp sweep;
+    sweep.streams = {ld(links), st(links + lattice / 2)};
+    sweep.count = 4000;
+    spec.ops.push_back(sweep);
+    return spec;
+}
+
+} // namespace sbsim

@@ -1,0 +1,156 @@
+/** @file Tests for the fifteen NAS/PERFECT benchmark models. */
+
+#include <gtest/gtest.h>
+
+#include "trace/time_sampler.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+TEST(BenchmarkRegistry, FifteenBenchmarksInPaperOrder)
+{
+    const auto &all = allBenchmarks();
+    ASSERT_EQ(all.size(), 15u);
+    const char *expected[] = {"embar", "mgrid", "cgm",    "fftpde",
+                              "is",    "appsp", "appbt",  "applu",
+                              "spec77", "adm",  "bdna",   "dyfesm",
+                              "mdg",   "qcd",   "trfd"};
+    for (std::size_t i = 0; i < 15; ++i)
+        EXPECT_EQ(all[i].name, expected[i]);
+}
+
+TEST(BenchmarkRegistry, SuitesMatchThePaper)
+{
+    int nas = 0, perfect = 0;
+    for (const auto &b : allBenchmarks()) {
+        if (b.suite == "NAS")
+            ++nas;
+        else if (b.suite == "PERFECT")
+            ++perfect;
+    }
+    EXPECT_EQ(nas, 8);
+    EXPECT_EQ(perfect, 7);
+}
+
+TEST(BenchmarkRegistry, LookupByName)
+{
+    EXPECT_EQ(findBenchmark("cgm").name, "cgm");
+    EXPECT_TRUE(hasBenchmark("trfd"));
+    EXPECT_FALSE(hasBenchmark("doom"));
+}
+
+TEST(BenchmarkRegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("nope"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(BenchmarkRegistry, ScaledInputsDiffer)
+{
+    for (const char *name : {"appsp", "appbt", "applu", "cgm", "mgrid"}) {
+        const Benchmark &b = findBenchmark(name);
+        EXPECT_NE(b.inputDescription(ScaleLevel::SMALL),
+                  b.inputDescription(ScaleLevel::LARGE))
+            << name;
+    }
+}
+
+/** Per-benchmark behavioural checks, parameterized over the registry. */
+class BenchmarkModel : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const Benchmark &bench() const { return findBenchmark(GetParam()); }
+};
+
+TEST_P(BenchmarkModel, ProducesANonTrivialTrace)
+{
+    auto workload = bench().makeWorkload();
+    MemAccess a;
+    std::uint64_t n = 0;
+    bool has_load = false, has_ifetch = false;
+    while (n < 50000 && workload->next(a)) {
+        ++n;
+        has_load |= a.type == AccessType::LOAD;
+        has_ifetch |= a.type == AccessType::IFETCH;
+    }
+    EXPECT_EQ(n, 50000u) << "trace too short";
+    EXPECT_TRUE(has_load);
+    EXPECT_TRUE(has_ifetch);
+}
+
+TEST_P(BenchmarkModel, TraceIsDeterministic)
+{
+    auto w1 = bench().makeWorkload();
+    auto w2 = bench().makeWorkload();
+    MemAccess a, b;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w1->next(a));
+        ASSERT_TRUE(w2->next(b));
+        ASSERT_EQ(a, b) << "divergence at " << i;
+    }
+}
+
+TEST_P(BenchmarkModel, ResetReproducesTheTrace)
+{
+    auto w = bench().makeWorkload();
+    std::vector<MemAccess> first;
+    MemAccess a;
+    for (int i = 0; i < 5000 && w->next(a); ++i)
+        first.push_back(a);
+    w->reset();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(w->next(a));
+        ASSERT_EQ(a, first[i]) << i;
+    }
+}
+
+TEST_P(BenchmarkModel, MetadataIsPopulated)
+{
+    const Benchmark &b = bench();
+    EXPECT_FALSE(b.description.empty());
+    EXPECT_TRUE(b.suite == "NAS" || b.suite == "PERFECT");
+    for (ScaleLevel level : {ScaleLevel::SMALL, ScaleLevel::DEFAULT,
+                             ScaleLevel::LARGE}) {
+        EXPECT_GT(b.dataSetBytes(level), 0u);
+        EXPECT_FALSE(b.inputDescription(level).empty());
+    }
+}
+
+TEST_P(BenchmarkModel, AddressesStayInSaneRanges)
+{
+    auto w = bench().makeWorkload();
+    MemAccess a;
+    for (int i = 0; i < 30000 && w->next(a); ++i) {
+        // All model addresses live below 4 GB + slack; none are null
+        // pointers wandering into page zero... except code/hot regions
+        // which start at 64 KB.
+        ASSERT_LT(a.addr, Addr{1} << 33);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BenchmarkModel,
+    ::testing::Values("embar", "mgrid", "cgm", "fftpde", "is", "appsp",
+                      "appbt", "applu", "spec77", "adm", "bdna",
+                      "dyfesm", "mdg", "qcd", "trfd"));
+
+TEST(BenchmarkScaling, LargeInputsTouchMoreMemory)
+{
+    // For the Table 4 benchmarks, the LARGE trace's maximum data
+    // address exceeds the SMALL trace's (bigger arrays).
+    for (const char *name : {"appsp", "appbt", "applu", "mgrid"}) {
+        const Benchmark &b = findBenchmark(name);
+        auto measure = [&](ScaleLevel level) {
+            auto w = b.makeWorkload(level);
+            MemAccess a;
+            Addr max_addr = 0;
+            for (int i = 0; i < 40000 && w->next(a); ++i)
+                if (a.type != AccessType::IFETCH &&
+                    a.addr >= 0x10000000)
+                    max_addr = std::max(max_addr, a.addr);
+            return max_addr;
+        };
+        EXPECT_GT(measure(ScaleLevel::LARGE), measure(ScaleLevel::SMALL))
+            << name;
+    }
+}

@@ -1,0 +1,84 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitutil.hh"
+
+using namespace sbsim;
+
+TEST(BitUtil, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(5), 31u);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(63), ~std::uint64_t{0} >> 1);
+}
+
+TEST(BitUtil, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 32), 0u);
+    EXPECT_EQ(alignDown(31, 32), 0u);
+    EXPECT_EQ(alignDown(32, 32), 32u);
+    EXPECT_EQ(alignDown(100, 32), 96u);
+}
+
+TEST(BitUtil, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 32), 0u);
+    EXPECT_EQ(alignUp(1, 32), 32u);
+    EXPECT_EQ(alignUp(32, 32), 32u);
+    EXPECT_EQ(alignUp(100, 4096), 4096u);
+}
+
+/** Property: for every power of two, floor == ceil == exact log. */
+class Log2Property : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(Log2Property, ExactOnPowersOfTwo)
+{
+    unsigned bit = GetParam();
+    std::uint64_t v = std::uint64_t{1} << bit;
+    EXPECT_EQ(floorLog2(v), bit);
+    EXPECT_EQ(ceilLog2(v), bit);
+    EXPECT_TRUE(isPowerOf2(v));
+    if (bit > 1) {
+        EXPECT_EQ(floorLog2(v - 1), bit - 1);
+        EXPECT_EQ(ceilLog2(v - 1), bit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, Log2Property,
+                         ::testing::Values(1u, 2u, 5u, 12u, 20u, 31u,
+                                           32u, 47u, 62u, 63u));

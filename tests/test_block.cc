@@ -1,0 +1,63 @@
+/** @file Unit tests for cache-block address arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "mem/block.hh"
+
+using namespace sbsim;
+
+TEST(BlockMapper, BasicMath32)
+{
+    BlockMapper m(32);
+    EXPECT_EQ(m.blockSize(), 32u);
+    EXPECT_EQ(m.blockShift(), 5u);
+    EXPECT_EQ(m.blockBase(0), 0u);
+    EXPECT_EQ(m.blockBase(31), 0u);
+    EXPECT_EQ(m.blockBase(32), 32u);
+    EXPECT_EQ(m.blockNumber(95), 2u);
+    EXPECT_EQ(m.blockToAddr(3), 96u);
+}
+
+TEST(BlockMapper, SameBlock)
+{
+    BlockMapper m(64);
+    EXPECT_TRUE(m.sameBlock(100, 127));
+    EXPECT_FALSE(m.sameBlock(100, 128));
+    EXPECT_TRUE(m.sameBlock(0, 63));
+}
+
+TEST(BlockMapper, NextBlock)
+{
+    BlockMapper m(32);
+    EXPECT_EQ(m.nextBlock(5), 32u);
+    EXPECT_EQ(m.nextBlock(5, 3), 96u);
+    EXPECT_EQ(m.nextBlock(32), 64u);
+}
+
+TEST(BlockMapperDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(BlockMapper(48), "power of two");
+    EXPECT_DEATH(BlockMapper(0), "power of two");
+}
+
+/** Property sweep over realistic block sizes. */
+class BlockMapperProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(BlockMapperProperty, RoundTripAndAlignment)
+{
+    unsigned bs = GetParam();
+    BlockMapper m(bs);
+    for (Addr a : {Addr{0}, Addr{1}, Addr{bs - 1}, Addr{bs},
+                   Addr{123456789}, Addr{0xdeadbeefcafe}}) {
+        Addr base = m.blockBase(a);
+        EXPECT_EQ(base % bs, 0u);
+        EXPECT_LE(base, a);
+        EXPECT_LT(a - base, bs);
+        EXPECT_EQ(m.blockToAddr(m.blockNumber(a)), base);
+        EXPECT_TRUE(m.sameBlock(a, base));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockMapperProperty,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u));

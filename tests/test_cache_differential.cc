@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Differential testing of the cache model: random reference streams
+ * are run through the Cache and through a simple, obviously-correct
+ * reference model (per-set vectors with explicit LRU order); every
+ * hit/miss decision and write-back must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "util/random.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** Obviously-correct set-associative LRU write-back model. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(std::uint64_t size, std::uint32_t assoc,
+                   std::uint32_t block)
+        : assoc_(assoc),
+          block_(block),
+          numSets_(static_cast<std::uint32_t>(size / (assoc * block)))
+    {}
+
+    struct Outcome
+    {
+        bool hit;
+        bool writeback;
+        Addr writebackAddr;
+    };
+
+    Outcome
+    access(Addr a, bool is_write)
+    {
+        Outcome out{false, false, 0};
+        std::uint64_t block_num = a / block_;
+        std::uint32_t set = block_num % numSets_;
+        auto &lru = sets_[set]; // Front = MRU.
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (it->blockNum == block_num) {
+                Line line = *it;
+                line.dirty |= is_write;
+                lru.erase(it);
+                lru.push_front(line);
+                out.hit = true;
+                return out;
+            }
+        }
+        // Miss: evict LRU if full.
+        if (lru.size() == assoc_) {
+            Line victim = lru.back();
+            lru.pop_back();
+            if (victim.dirty) {
+                out.writeback = true;
+                out.writebackAddr = victim.blockNum * block_;
+            }
+        }
+        lru.push_front({block_num, is_write});
+        return out;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t blockNum;
+        bool dirty;
+    };
+
+    std::uint32_t assoc_;
+    std::uint32_t block_;
+    std::uint32_t numSets_;
+    std::map<std::uint32_t, std::list<Line>> sets_;
+};
+
+struct DiffGeom
+{
+    std::uint64_t size;
+    std::uint32_t assoc;
+    std::uint32_t block;
+    std::uint64_t region;
+};
+
+class CacheDifferential : public ::testing::TestWithParam<DiffGeom>
+{};
+
+} // namespace
+
+TEST_P(CacheDifferential, AgreesWithReferenceModelOnRandomStream)
+{
+    auto [size, assoc, block, region] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = size;
+    config.assoc = assoc;
+    config.blockSize = block;
+    config.replacement = ReplacementKind::LRU;
+    Cache cache(config);
+    ReferenceCache ref(size, assoc, block);
+
+    Pcg32 rng(0xd1ffe4);
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = rng.below(static_cast<std::uint32_t>(region));
+        bool is_write = rng.below(4) == 0;
+        MemAccess access = is_write ? makeStore(a) : makeLoad(a);
+        CacheResult got = cache.access(access);
+        ReferenceCache::Outcome want = ref.access(a, is_write);
+        ASSERT_EQ(got.hit, want.hit) << "ref " << i << " addr " << a;
+        ASSERT_EQ(got.writeback, want.writeback)
+            << "ref " << i << " addr " << a;
+        if (want.writeback) {
+            ASSERT_EQ(got.writebackAddr, want.writebackAddr)
+                << "ref " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheDifferential,
+    ::testing::Values(DiffGeom{1024, 1, 32, 8192},
+                      DiffGeom{1024, 2, 32, 8192},
+                      DiffGeom{2048, 4, 32, 4096},
+                      DiffGeom{4096, 2, 64, 32768},
+                      DiffGeom{8192, 8, 128, 65536},
+                      DiffGeom{1024, 32, 32, 4096})); // Fully assoc.

@@ -1,0 +1,190 @@
+/** @file Unit tests for the czone partition stride detector (Figs. 6-7). */
+
+#include <gtest/gtest.h>
+
+#include "stream/czone_filter.hh"
+
+using namespace sbsim;
+
+TEST(CzoneFilter, ThreeStridedReferencesAllocate)
+{
+    CzoneFilter filter(16, 18);
+    EXPECT_FALSE(filter.onMiss(0x10000).has_value()); // META1.
+    EXPECT_FALSE(filter.onMiss(0x10400).has_value()); // META2.
+    auto alloc = filter.onMiss(0x10800);              // Verified.
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->startAddr, 0x10800u);
+    EXPECT_EQ(alloc->stride, 0x400);
+}
+
+TEST(CzoneFilter, TwoReferencesAreNotEnough)
+{
+    CzoneFilter filter(16, 18);
+    EXPECT_FALSE(filter.onMiss(0x10000).has_value());
+    EXPECT_FALSE(filter.onMiss(0x10400).has_value());
+    EXPECT_EQ(filter.allocations(), 0u);
+}
+
+TEST(CzoneFilter, WrongGuessReverifies)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    filter.onMiss(0x10400); // Guess 0x400.
+    EXPECT_FALSE(filter.onMiss(0x10600).has_value()); // Delta 0x200.
+    // Now the guess is 0x200; two more confirmations:
+    auto alloc = filter.onMiss(0x10800);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->stride, 0x200);
+}
+
+TEST(CzoneFilter, NegativeStrideDetected)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10800);
+    filter.onMiss(0x10400);
+    auto alloc = filter.onMiss(0x10000);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->stride, -0x400);
+}
+
+TEST(CzoneFilter, RepeatedAddressIsIgnored)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    EXPECT_FALSE(filter.onMiss(0x10000).has_value()); // Delta 0.
+    filter.onMiss(0x10400);
+    EXPECT_FALSE(filter.onMiss(0x10400).has_value());
+    EXPECT_TRUE(filter.onMiss(0x10800).has_value());
+}
+
+TEST(CzoneFilter, DifferentPartitionsTrackIndependently)
+{
+    CzoneFilter filter(16, 16); // 64 KB partitions.
+    // Stream A in partition 0, stream B in partition 8.
+    filter.onMiss(0x00000);
+    filter.onMiss(0x80000);
+    filter.onMiss(0x00400);
+    filter.onMiss(0x80800);
+    auto a = filter.onMiss(0x00800);
+    auto b = filter.onMiss(0x81000);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->stride, 0x400);
+    EXPECT_EQ(b->stride, 0x800);
+}
+
+TEST(CzoneFilter, InterleavedStreamsInOnePartitionDefeatDetection)
+{
+    // The Figure 9 upper-bound effect: two alternating strided
+    // streams sharing a partition produce alternating deltas.
+    CzoneFilter filter(16, 30);
+    Addr a = 0x10000, b = 0x2000000;
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(filter.onMiss(a).has_value());
+        EXPECT_FALSE(filter.onMiss(b).has_value());
+        a += 0x400;
+        b += 0x400;
+    }
+}
+
+TEST(CzoneFilter, EntryFreedAfterAllocation)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    filter.onMiss(0x10400);
+    ASSERT_TRUE(filter.onMiss(0x10800).has_value());
+    // A new sequence in the same partition restarts from META1.
+    EXPECT_FALSE(filter.onMiss(0x10900).has_value());
+    EXPECT_FALSE(filter.onMiss(0x10a00).has_value());
+    EXPECT_TRUE(filter.onMiss(0x10b00).has_value());
+}
+
+TEST(CzoneFilter, LruSlotEvictionUnderPressure)
+{
+    CzoneFilter filter(2, 18);
+    filter.onMiss(0x0000000); // Partition A.
+    filter.onMiss(0x4000000); // Partition B.
+    filter.onMiss(0x8000000); // Partition C evicts A.
+    // A's progress is lost: three fresh refs are needed again.
+    filter.onMiss(0x0000400);
+    EXPECT_FALSE(filter.onMiss(0x0000800).has_value());
+    EXPECT_TRUE(filter.onMiss(0x0000c00).has_value());
+}
+
+TEST(CzoneFilter, SetCzoneBitsInvalidatesState)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    filter.onMiss(0x10400);
+    filter.setCzoneBits(20);
+    EXPECT_EQ(filter.czoneBits(), 20u);
+    // Detection restarts.
+    EXPECT_FALSE(filter.onMiss(0x10800).has_value());
+}
+
+TEST(CzoneFilter, SmallCzoneSplitsStridedRun)
+{
+    // Stride 0x400 with 10-bit (1 KB) czone: consecutive references
+    // land in different partitions, so nothing is ever verified.
+    CzoneFilter filter(16, 10);
+    for (int i = 0; i < 30; ++i)
+        EXPECT_FALSE(
+            filter.onMiss(0x10000 + i * 0x400).has_value());
+}
+
+TEST(CzoneFilter, StatsCount)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    filter.onMiss(0x10400);
+    filter.onMiss(0x10800);
+    EXPECT_EQ(filter.lookups(), 3u);
+    EXPECT_EQ(filter.allocations(), 1u);
+}
+
+TEST(CzoneFilter, ResetClearsEverything)
+{
+    CzoneFilter filter(16, 18);
+    filter.onMiss(0x10000);
+    filter.onMiss(0x10400);
+    filter.reset();
+    EXPECT_FALSE(filter.onMiss(0x10800).has_value());
+    EXPECT_EQ(filter.lookups(), 1u);
+}
+
+TEST(CzoneFilterDeath, Validation)
+{
+    EXPECT_DEATH(CzoneFilter(0, 18), "entries");
+    EXPECT_DEATH(CzoneFilter(16, 0), "czone bits");
+    CzoneFilter ok(16, 18);
+    EXPECT_DEATH(ok.setCzoneBits(64), "czone bits");
+}
+
+/**
+ * Property (the Figure 9 lower bound): a stride-S run is detectable
+ * iff the czone spans at least ~2S (three consecutive references).
+ */
+class CzoneWindowProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CzoneWindowProperty, DetectionRequiresCzoneSpanningTwoStrides)
+{
+    unsigned czone_bits = GetParam();
+    const std::int64_t stride = 0x4000; // 16 KB (fftpde's z stride).
+    CzoneFilter filter(16, czone_bits);
+    // Aligned run start so partition-crossing is deterministic.
+    Addr base = Addr{1} << 30;
+    int allocs = 0;
+    for (int i = 0; i < 16; ++i)
+        if (filter.onMiss(base + i * stride))
+            ++allocs;
+    if ((std::uint64_t{1} << czone_bits) >= 4 * 0x4000) {
+        EXPECT_GT(allocs, 0) << "czone " << czone_bits;
+    } else if ((std::uint64_t{1} << czone_bits) < 2 * 0x4000) {
+        EXPECT_EQ(allocs, 0) << "czone " << czone_bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CzoneWindowProperty,
+                         ::testing::Values(10u, 12u, 14u, 15u, 16u,
+                                           18u, 22u, 26u));

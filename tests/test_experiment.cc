@@ -1,0 +1,65 @@
+/** @file Tests for the experiment-runner helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/source.hh"
+
+using namespace sbsim;
+
+TEST(PaperSystemConfig, MatchesThePaperDefaults)
+{
+    MemorySystemConfig c = paperSystemConfig();
+    EXPECT_EQ(c.l1.icache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.l1.dcache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.l1.dcache.assoc, 4u);
+    EXPECT_EQ(c.l1.dcache.replacement, ReplacementKind::RANDOM);
+    EXPECT_TRUE(c.useStreams);
+    EXPECT_EQ(c.streams.numStreams, 10u);
+    EXPECT_EQ(c.streams.depth, 2u);
+    EXPECT_EQ(c.streams.unitFilterEntries, 16u);
+    EXPECT_EQ(c.streams.strideFilterEntries, 16u);
+    EXPECT_EQ(c.streams.allocation, AllocationPolicy::ALWAYS);
+    EXPECT_EQ(c.streams.strideDetection, StrideDetection::NONE);
+    EXPECT_FALSE(c.useL2);
+    EXPECT_EQ(c.busCyclesPerBlock, 0u);
+}
+
+TEST(PaperSystemConfig, ParametersPropagate)
+{
+    MemorySystemConfig c = paperSystemConfig(
+        7, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 21);
+    EXPECT_EQ(c.streams.numStreams, 7u);
+    EXPECT_EQ(c.streams.allocation, AllocationPolicy::UNIT_FILTER);
+    EXPECT_EQ(c.streams.strideDetection, StrideDetection::CZONE);
+    EXPECT_EQ(c.streams.czoneBits, 21u);
+}
+
+TEST(RunOnce, ReturnsResultsAndLengthShares)
+{
+    std::vector<MemAccess> trace;
+    for (int i = 0; i < 100; ++i)
+        trace.push_back(makeLoad(0x100000 + i * 32));
+    VectorSource src(trace);
+    RunOutput out = runOnce(src, paperSystemConfig(4));
+    EXPECT_EQ(out.results.references, 100u);
+    EXPECT_EQ(out.engineStats.lookups, 100u);
+    ASSERT_EQ(out.lengthSharesPercent.size(), 5u);
+    double total = 0;
+    for (double s : out.lengthSharesPercent)
+        total += s;
+    EXPECT_NEAR(total, 100.0, 0.01);
+    // One 99-hit run: everything in the >20 bucket.
+    EXPECT_NEAR(out.lengthSharesPercent[4], 100.0, 0.01);
+}
+
+TEST(RunOnce, NoStreamsYieldsEmptyShares)
+{
+    std::vector<MemAccess> trace = {makeLoad(0x0), makeLoad(0x20)};
+    VectorSource src(trace);
+    MemorySystemConfig config = paperSystemConfig();
+    config.useStreams = false;
+    RunOutput out = runOnce(src, config);
+    EXPECT_TRUE(out.lengthSharesPercent.empty());
+    EXPECT_EQ(out.engineStats.lookups, 0u);
+}

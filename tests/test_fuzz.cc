@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Randomized system-level stress tests. Each seed derives a full
+ * feature combination (streams on/off, filters, stride detection,
+ * partitioning, victim buffer, L2, bus, page translation) and a mixed
+ * random/strided/bursty reference stream, then checks the global
+ * invariants that must hold for *any* configuration:
+ *
+ *  - reference and hit/miss accounting is consistent;
+ *  - every issued prefetch is consumed, invalidated or flushed;
+ *  - the timing model only moves forward and respects the bus;
+ *  - repeated runs with the same seed are bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+
+using namespace sbsim;
+
+namespace {
+
+MemorySystemConfig
+configFromSeed(std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    MemorySystemConfig c;
+    // Small caches keep miss rates high so every path is exercised.
+    std::uint32_t assoc = 1u << rng.below(3);
+    c.l1.icache = {2048, assoc, 32, ReplacementKind::RANDOM, true,
+                   true, seed};
+    c.l1.dcache = {2048, assoc, 32,
+                   rng.below(2) ? ReplacementKind::RANDOM
+                                : ReplacementKind::LRU,
+                   true, true, seed + 1};
+    c.useStreams = rng.below(4) != 0;
+    c.streams.numStreams = 1 + rng.below(10);
+    c.streams.depth = 1 + rng.below(4);
+    c.streams.blockSize = 32;
+    c.streams.partitioned = rng.below(2) != 0;
+    c.streams.replacement =
+        static_cast<StreamReplacement>(rng.below(3));
+    switch (rng.below(3)) {
+      case 0:
+        c.streams.allocation = AllocationPolicy::ALWAYS;
+        break;
+      case 1:
+        c.streams.allocation = AllocationPolicy::UNIT_FILTER;
+        break;
+      default:
+        c.streams.allocation = AllocationPolicy::UNIT_FILTER;
+        c.streams.strideDetection = rng.below(2)
+                                        ? StrideDetection::CZONE
+                                        : StrideDetection::MIN_DELTA;
+        c.streams.czoneBits = 12 + rng.below(12);
+        break;
+    }
+    c.streams.unitFilterEntries = 1 + rng.below(16);
+    c.streams.strideFilterEntries = 1 + rng.below(16);
+    c.victimBufferEntries = rng.below(2) ? rng.below(8) : 0;
+    c.useL2 = rng.below(2) != 0;
+    c.l2 = {64 * 1024, 4, 64, ReplacementKind::LRU, true, true,
+            seed + 2};
+    c.busCyclesPerBlock = rng.below(2) ? rng.below(50) : 0;
+    c.translation = rng.below(2) ? TranslationMode::SHUFFLED
+                                 : TranslationMode::IDENTITY;
+    c.memLatencyCycles = 1 + rng.below(100);
+    return c;
+}
+
+std::vector<MemAccess>
+traceFromSeed(std::uint64_t seed, std::size_t n)
+{
+    Pcg32 rng(seed * 77 + 1);
+    std::vector<MemAccess> trace;
+    trace.reserve(n);
+    Addr stride_pos = 0x100000;
+    std::int64_t stride = 32 * (1 + rng.below(64));
+    while (trace.size() < n) {
+        switch (rng.below(6)) {
+          case 0: // Random load or store anywhere.
+            trace.push_back(rng.below(3) == 0
+                                ? makeStore(rng.below(1u << 24))
+                                : makeLoad(rng.below(1u << 24)));
+            break;
+          case 1: // Ifetch.
+            trace.push_back(makeIfetch(0x4000 + rng.below(4096)));
+            break;
+          case 2: // Short unit burst.
+            for (int i = 0; i < 4; ++i)
+                trace.push_back(
+                    makeLoad(0x800000 + rng.below(1 << 20) + i * 32));
+            break;
+          case 3: // Continue a strided walk.
+            for (int i = 0; i < 3; ++i) {
+                trace.push_back(makeLoad(stride_pos, 8, 0x4100));
+                stride_pos += static_cast<Addr>(stride);
+            }
+            break;
+          case 4: // Restart the strided walk elsewhere.
+            stride_pos = 0x100000 + rng.below(1 << 22);
+            stride = 32 * (1 + rng.below(64));
+            break;
+          default: // Hot block reuse.
+            trace.push_back(makeLoad(0x200000 + rng.below(64) * 8));
+            break;
+        }
+    }
+    trace.resize(n);
+    return trace;
+}
+
+struct FuzzOutcome
+{
+    SystemResults results;
+    StreamEngineStats engine;
+    std::uint64_t demand, prefetch, writeback;
+};
+
+FuzzOutcome
+runSeed(std::uint64_t seed)
+{
+    MemorySystem sys(configFromSeed(seed));
+    VectorSource src(traceFromSeed(seed, 20000));
+    sys.run(src);
+    FuzzOutcome out;
+    out.results = sys.finish();
+    if (const PrefetchEngine *e = sys.engine())
+        out.engine = e->engineStats();
+    out.demand = sys.memory().demandBlocks();
+    out.prefetch = sys.memory().prefetchBlocks();
+    out.writeback = sys.memory().writebackBlocks();
+    return out;
+}
+
+class SystemFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+} // namespace
+
+TEST_P(SystemFuzz, InvariantsHoldForArbitraryConfigurations)
+{
+    std::uint64_t seed = GetParam();
+    FuzzOutcome out = runSeed(seed);
+    const SystemResults &r = out.results;
+
+    // Reference accounting.
+    EXPECT_EQ(r.references, 20000u);
+    EXPECT_EQ(r.references, r.instructionRefs + r.dataRefs);
+    EXPECT_LE(r.l1DataMisses, r.l1Misses);
+    EXPECT_LE(r.l1Misses, r.references);
+    EXPECT_LE(r.victimHits + out.engine.hits, r.l1Misses);
+
+    // Prefetch conservation (engine configs only).
+    EXPECT_EQ(out.engine.prefetchesIssued,
+              out.engine.hits + out.engine.uselessFlushed +
+                  out.engine.uselessInvalidated)
+        << "seed " << seed;
+
+    // Stream lookups are exactly the L1 misses not served by the
+    // victim buffer.
+    if (out.engine.lookups > 0)
+        EXPECT_EQ(out.engine.lookups, r.l1Misses - r.victimHits);
+
+    // Timing sanity.
+    EXPECT_GE(r.cycles, r.references);
+    EXPECT_EQ(r.streamHits,
+              r.streamHitsReady + r.streamHitsPending);
+
+    // Memory traffic sanity: every demand block corresponds to a
+    // stream miss (or plain miss), never more than total misses.
+    EXPECT_LE(out.demand, r.l1Misses);
+}
+
+TEST_P(SystemFuzz, DeterministicAcrossRuns)
+{
+    std::uint64_t seed = GetParam();
+    FuzzOutcome a = runSeed(seed);
+    FuzzOutcome b = runSeed(seed);
+    EXPECT_EQ(a.results.cycles, b.results.cycles);
+    EXPECT_EQ(a.results.l1Misses, b.results.l1Misses);
+    EXPECT_EQ(a.engine.hits, b.engine.hits);
+    EXPECT_EQ(a.demand, b.demand);
+    EXPECT_EQ(a.prefetch, b.prefetch);
+    EXPECT_EQ(a.writeback, b.writeback);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));

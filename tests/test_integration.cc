@@ -1,0 +1,219 @@
+/**
+ * @file
+ * End-to-end shape tests: small-budget versions of the paper's
+ * headline results. These guard the reproduction itself — if a change
+ * to the simulator or the workload models breaks one of the paper's
+ * qualitative findings, a test here fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/time_sampler.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::uint64_t kBudget = 250000;
+
+RunOutput
+run(const std::string &name, const MemorySystemConfig &config,
+    ScaleLevel level = ScaleLevel::DEFAULT)
+{
+    auto workload = findBenchmark(name).makeWorkload(level);
+    TruncatingSource limited(*workload, kBudget);
+    return runOnce(limited, config);
+}
+
+double
+hitRate(const std::string &name, const MemorySystemConfig &config,
+        ScaleLevel level = ScaleLevel::DEFAULT)
+{
+    return run(name, config, level).engineStats.hitRatePercent();
+}
+
+} // namespace
+
+TEST(PaperShapes, EmbarIsTheBestCase)
+{
+    // Fig. 3: embar's single long stream hits nearly always.
+    EXPECT_GT(hitRate("embar", paperSystemConfig(10)), 90.0);
+}
+
+TEST(PaperShapes, MajorityInFiftyToEightyBand)
+{
+    // Fig. 3: "the majority of the benchmarks show hit rates in the
+    // 50-80% range" at 8-10 streams.
+    MemorySystemConfig config = paperSystemConfig(10);
+    int in_band_or_above = 0;
+    for (const char *name : {"mgrid", "cgm", "is", "applu", "appbt",
+                             "spec77", "bdna", "qcd"}) {
+        if (hitRate(name, config) >= 50.0)
+            ++in_band_or_above;
+    }
+    EXPECT_GE(in_band_or_above, 7);
+}
+
+TEST(PaperShapes, IndirectionBenchmarksStayLow)
+{
+    // Fig. 3: adm and dyfesm are held back by scatter/gather. dyfesm
+    // needs a couple of time steps of L1 warm-up before its steady
+    // conflict-miss behaviour appears, hence the larger budget.
+    MemorySystemConfig config = paperSystemConfig(10);
+    EXPECT_LT(hitRate("adm", config), 40.0);
+    auto workload = findBenchmark("dyfesm").makeWorkload();
+    TruncatingSource limited(*workload, 3 * kBudget);
+    EXPECT_LT(runOnce(limited, config).engineStats.hitRatePercent(),
+              50.0);
+}
+
+TEST(PaperShapes, NonUnitStrideBenchmarksAreWorstUnfiltered)
+{
+    MemorySystemConfig config = paperSystemConfig(10);
+    EXPECT_LT(hitRate("fftpde", config), 40.0);
+    EXPECT_LT(hitRate("appsp", config), 45.0);
+}
+
+TEST(PaperShapes, HitRatePlateausWithStreams)
+{
+    // Fig. 3: hit rates saturate around 7-8 streams.
+    double h2 = hitRate("mgrid", paperSystemConfig(2));
+    double h8 = hitRate("mgrid", paperSystemConfig(8));
+    double h10 = hitRate("mgrid", paperSystemConfig(10));
+    EXPECT_GT(h8, h2);
+    EXPECT_NEAR(h10, h8, 5.0);
+}
+
+TEST(PaperShapes, FilterSlashesExtraBandwidth)
+{
+    // Fig. 5: the filter cuts EB by >= 50% for most benchmarks...
+    MemorySystemConfig raw = paperSystemConfig(10);
+    MemorySystemConfig filt =
+        paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
+    for (const char *name : {"trfd", "is", "cgm", "appsp", "mgrid"}) {
+        RunOutput r = run(name, raw);
+        RunOutput f = run(name, filt);
+        EXPECT_LT(f.engineStats.extraBandwidthPercent(),
+                  r.engineStats.extraBandwidthPercent() / 2)
+            << name;
+        // ...at a small hit-rate cost for these benchmarks.
+        EXPECT_GT(f.engineStats.hitRatePercent(),
+                  r.engineStats.hitRatePercent() - 8)
+            << name;
+    }
+}
+
+TEST(PaperShapes, FilterHurtsAppbt)
+{
+    // Fig. 5: appbt loses ~20 points of hit rate with the filter
+    // because 63% of its hits come from streams shorter than 5.
+    double raw = hitRate("appbt", paperSystemConfig(10));
+    double filt = hitRate(
+        "appbt", paperSystemConfig(10, AllocationPolicy::UNIT_FILTER));
+    EXPECT_LT(filt, raw - 10.0);
+}
+
+TEST(PaperShapes, CzoneRecoversStridedBenchmarks)
+{
+    // Fig. 8: fftpde, appsp and trfd gain a lot; others barely move.
+    MemorySystemConfig unit =
+        paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
+    MemorySystemConfig czone = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+    EXPECT_GT(hitRate("fftpde", czone), hitRate("fftpde", unit) + 25);
+    EXPECT_GT(hitRate("appsp", czone), hitRate("appsp", unit) + 20);
+    EXPECT_GT(hitRate("trfd", czone), hitRate("trfd", unit) + 5);
+    EXPECT_NEAR(hitRate("mgrid", czone), hitRate("mgrid", unit), 3.0);
+    EXPECT_NEAR(hitRate("adm", czone), hitRate("adm", unit), 3.0);
+}
+
+TEST(PaperShapes, FftpdeCzoneWindow)
+{
+    // Fig. 9: fftpde needs a mid-sized czone; very small and very
+    // large czones fall back to unit-only performance.
+    auto at = [&](unsigned bits) {
+        return hitRate("fftpde",
+                       paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                                         StrideDetection::CZONE, bits));
+    };
+    double small = at(10), mid = at(18), large = at(26);
+    EXPECT_GT(mid, small + 25);
+    EXPECT_GT(mid, large + 25);
+}
+
+TEST(PaperShapes, TrfdWorksWithLargeCzone)
+{
+    // Fig. 9: trfd keeps its gains at 26-bit czones.
+    auto at = [&](unsigned bits) {
+        return hitRate("trfd",
+                       paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                                         StrideDetection::CZONE, bits));
+    };
+    EXPECT_NEAR(at(26), at(18), 3.0);
+    EXPECT_LT(at(10), at(18) - 5);
+}
+
+TEST(PaperShapes, StreamsScaleWithInputSize)
+{
+    // Table 4: appsp and applu hit rates improve with the input size.
+    MemorySystemConfig config = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+    EXPECT_GT(hitRate("appsp", config, ScaleLevel::LARGE),
+              hitRate("appsp", config, ScaleLevel::SMALL) + 10);
+    EXPECT_GT(hitRate("applu", config, ScaleLevel::LARGE),
+              hitRate("applu", config, ScaleLevel::SMALL) + 5);
+}
+
+TEST(PaperShapes, CgmIsTheAnomalousCase)
+{
+    // Table 4: cgm's hit rate *drops* at the irregular 5600 input.
+    MemorySystemConfig config = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+    EXPECT_LT(hitRate("cgm", config, ScaleLevel::LARGE),
+              hitRate("cgm", config, ScaleLevel::SMALL) - 10);
+}
+
+TEST(PaperShapes, PerfectCodesMissLessThanNasCodes)
+{
+    // Table 1: the PERFECT codes show much lower primary miss rates.
+    MemorySystemConfig config = paperSystemConfig(10);
+    config.useStreams = false;
+    double nas = run("cgm", config).results.l1DataMissRatePercent;
+    double perfect = run("adm", config).results.l1DataMissRatePercent;
+    EXPECT_GT(nas, 4 * perfect);
+}
+
+TEST(PaperShapes, MinDeltaPerformsSimilarlyToCzone)
+{
+    // Section 7: the minimum-delta scheme showed similar performance.
+    MemorySystemConfig czone = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
+    MemorySystemConfig delta = paperSystemConfig(
+        10, AllocationPolicy::UNIT_FILTER, StrideDetection::MIN_DELTA);
+    double hc = hitRate("appsp", czone);
+    double hd = hitRate("appsp", delta);
+    EXPECT_GT(hd, hc - 15);
+}
+
+TEST(PaperShapes, TimeSampledRunTracksFullRun)
+{
+    // Section 4.1 methodology: 10% time sampling preserves hit rates.
+    const Benchmark &b = findBenchmark("mgrid");
+    MemorySystemConfig config = paperSystemConfig(10);
+
+    auto full_w = b.makeWorkload();
+    TruncatingSource full(*full_w, kBudget);
+    double full_hit = runOnce(full, config).engineStats.hitRatePercent();
+
+    auto sampled_w = b.makeWorkload();
+    TimeSampler sampler(*sampled_w, 10000, 90000);
+    TruncatingSource sampled(sampler, kBudget / 2);
+    double sampled_hit =
+        runOnce(sampled, config).engineStats.hitRatePercent();
+
+    // The sampled run covers different (and more) phases of the
+    // program than the truncated full run, so agreement is coarse.
+    EXPECT_NEAR(full_hit, sampled_hit, 10.0);
+}

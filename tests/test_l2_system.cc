@@ -1,0 +1,178 @@
+/** @file Tests for the optional L2 and the finite-bandwidth bus. */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+#include "trace/source.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::uint32_t kBlock = 32;
+
+MemorySystemConfig
+smallSystem()
+{
+    MemorySystemConfig c;
+    c.l1.icache = {1024, 2, kBlock, ReplacementKind::LRU, true, true, 1};
+    c.l1.dcache = {1024, 2, kBlock, ReplacementKind::LRU, true, true, 2};
+    c.useStreams = false;
+    c.streams.numStreams = 4;
+    c.streams.blockSize = kBlock;
+    c.l2 = {16 * 1024, 4, kBlock, ReplacementKind::LRU, true, true, 3};
+    return c;
+}
+
+std::vector<MemAccess>
+cyclingLoads(Addr base, std::uint64_t region, int passes)
+{
+    std::vector<MemAccess> v;
+    for (int p = 0; p < passes; ++p)
+        for (std::uint64_t a = 0; a < region; a += kBlock)
+            v.push_back(makeLoad(base + a));
+    return v;
+}
+
+} // namespace
+
+TEST(L2System, CapturesL1CapacityMisses)
+{
+    // 8 KB working set: misses the 1 KB L1 but fits the 16 KB L2.
+    MemorySystemConfig config = smallSystem();
+    config.useL2 = true;
+    MemorySystem sys(config);
+    VectorSource src(cyclingLoads(0x10000, 8192, 5));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.l1Misses, 1000u);
+    EXPECT_GT(r.l2LocalHitRatePercent, 75.0);
+    // Memory only saw the cold fetches.
+    EXPECT_LE(sys.memory().demandBlocks(), 256u + 8u);
+}
+
+TEST(L2System, NoL2MeansAllMissesReachMemory)
+{
+    MemorySystemConfig config = smallSystem();
+    MemorySystem sys(config);
+    VectorSource src(cyclingLoads(0x10000, 8192, 5));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_EQ(r.l2Hits + r.l2Misses, 0u);
+    EXPECT_EQ(sys.memory().demandBlocks(), r.l1Misses);
+}
+
+TEST(L2System, L2HitsAreFasterThanMemory)
+{
+    MemorySystemConfig with_l2 = smallSystem();
+    with_l2.useL2 = true;
+    MemorySystemConfig without = smallSystem();
+    auto run = [](MemorySystemConfig config) {
+        MemorySystem sys(config);
+        VectorSource src(cyclingLoads(0x10000, 8192, 5));
+        sys.run(src);
+        return sys.finish().avgAccessCycles;
+    };
+    EXPECT_LT(run(with_l2), run(without) * 0.5);
+}
+
+TEST(L2System, L1WritebacksAreAbsorbedByL2)
+{
+    MemorySystemConfig config = smallSystem();
+    config.useL2 = true;
+    MemorySystem sys(config);
+    // Dirty an 8 KB region repeatedly: L1 write-backs go to the L2,
+    // not to memory.
+    std::vector<MemAccess> trace;
+    for (int p = 0; p < 5; ++p)
+        for (std::uint64_t a = 0; a < 8192; a += kBlock)
+            trace.push_back(makeStore(0x10000 + a));
+    VectorSource src(trace);
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.writebacks, 500u);
+    EXPECT_EQ(sys.memory().writebackBlocks(), 0u);
+}
+
+TEST(L2System, HybridStreamsPrefetchFromL2)
+{
+    // Jouppi's arrangement: after the L2 is warm, stream prefetches
+    // are served by the L2 and memory sees no prefetch traffic.
+    MemorySystemConfig config = smallSystem();
+    config.useL2 = true;
+    config.useStreams = true;
+    MemorySystem sys(config);
+    // Warm the L2 with the region, thrashing the L1.
+    VectorSource warm(cyclingLoads(0x10000, 8192, 2));
+    sys.run(warm);
+    std::uint64_t prefetch_before = sys.memory().prefetchBlocks();
+    VectorSource again(cyclingLoads(0x10000, 8192, 3));
+    sys.run(again);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.streamHitRatePercent, 50.0);
+    // All prefetches in the warm phase hit the L2.
+    EXPECT_EQ(sys.memory().prefetchBlocks(), prefetch_before);
+}
+
+TEST(BusModel, InfiniteBandwidthHasNoQueueing)
+{
+    MemorySystemConfig config = smallSystem();
+    MemorySystem sys(config);
+    VectorSource src(cyclingLoads(0x10000, 32768, 2));
+    sys.run(src);
+    EXPECT_EQ(sys.finish().busQueueCycles, 0u);
+}
+
+TEST(BusModel, ScarceBandwidthQueuesDemandFetches)
+{
+    // Back-to-back misses with a slow bus: each transfer occupies the
+    // bus longer than the gap between misses.
+    MemorySystemConfig config = smallSystem();
+    config.busCyclesPerBlock = 100;
+    config.memLatencyCycles = 10;
+    MemorySystem sys(config);
+    VectorSource src(cyclingLoads(0x10000, 32768, 2));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.busQueueCycles, 0u);
+}
+
+TEST(BusModel, PrefetchTrafficDelaysDemandFetches)
+{
+    // The paper's system argument: wasted prefetches consume bus slots
+    // that demand fetches then wait for. An isolated-reference
+    // workload with always-allocate streams doubles the bus load.
+    auto queue_cycles = [](bool streams) {
+        MemorySystemConfig config = smallSystem();
+        config.useStreams = streams;
+        config.busCyclesPerBlock = 40;
+        MemorySystem sys(config);
+        Pcg32 rng(42);
+        for (int i = 0; i < 4000; ++i) {
+            sys.processAccess(
+                makeLoad(0x100000 + rng.below(1 << 20) / kBlock *
+                                        kBlock));
+        }
+        return sys.finish().busQueueCycles;
+    };
+    std::uint64_t without = queue_cycles(false);
+    std::uint64_t with = queue_cycles(true);
+    EXPECT_GT(with, 2 * without);
+}
+
+TEST(BusModel, AvgAccessTimeDegradesGracefully)
+{
+    // Monotonicity: less bandwidth can only slow the system down.
+    double prev = 0;
+    for (unsigned bus : {0u, 8u, 32u, 128u}) {
+        MemorySystemConfig config = smallSystem();
+        config.useStreams = true;
+        config.busCyclesPerBlock = bus;
+        MemorySystem sys(config);
+        VectorSource src(cyclingLoads(0x10000, 32768, 2));
+        sys.run(src);
+        double avg = sys.finish().avgAccessCycles;
+        EXPECT_GE(avg + 1e-9, prev) << "bus " << bus;
+        prev = avg;
+    }
+}

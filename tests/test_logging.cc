@@ -1,0 +1,82 @@
+/** @file Unit tests for the logging/error-reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** Captures messages for inspection. */
+class CaptureSink : public LogSink
+{
+  public:
+    void
+    message(const std::string &severity, const std::string &text) override
+    {
+        entries.push_back(severity + ": " + text);
+    }
+
+    std::vector<std::string> entries;
+};
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogSink(&sink_); }
+    void TearDown() override { setLogSink(nullptr); }
+
+    CaptureSink sink_;
+};
+
+} // namespace
+
+TEST_F(LoggingTest, WarnRoutesToSink)
+{
+    SBSIM_WARN("something ", 42, " odd");
+    ASSERT_EQ(sink_.entries.size(), 1u);
+    EXPECT_EQ(sink_.entries[0], "warn: something 42 odd");
+}
+
+TEST_F(LoggingTest, InformRoutesToSink)
+{
+    SBSIM_INFORM("status");
+    ASSERT_EQ(sink_.entries.size(), 1u);
+    EXPECT_EQ(sink_.entries[0], "info: status");
+}
+
+TEST_F(LoggingTest, AssertPassesQuietly)
+{
+    SBSIM_ASSERT(1 + 1 == 2, "never shown");
+    EXPECT_TRUE(sink_.entries.empty());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(SBSIM_PANIC("boom ", 7), "boom 7");
+}
+
+TEST(LoggingDeath, AssertAbortsWithCondition)
+{
+    EXPECT_DEATH(SBSIM_ASSERT(false, "context ", 3),
+                 "assertion 'false' failed");
+}
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(SBSIM_FATAL("user error"),
+                ::testing::ExitedWithCode(1), "user error");
+}
+
+TEST(Logging, SetSinkReturnsPrevious)
+{
+    CaptureSink first;
+    EXPECT_EQ(setLogSink(&first), nullptr);
+    CaptureSink second;
+    EXPECT_EQ(setLogSink(&second), &first);
+    setLogSink(nullptr);
+}

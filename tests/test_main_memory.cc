@@ -1,0 +1,63 @@
+/** @file Unit tests for the main-memory bandwidth accounting model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+using namespace sbsim;
+
+TEST(MainMemory, CountsPerKind)
+{
+    MainMemory mem(42);
+    EXPECT_EQ(mem.latency(), 42u);
+    mem.transfer(TrafficKind::DEMAND);
+    mem.transfer(TrafficKind::DEMAND);
+    mem.transfer(TrafficKind::PREFETCH);
+    mem.transfer(TrafficKind::WRITEBACK);
+    mem.transfer(TrafficKind::PREFETCH);
+    mem.transfer(TrafficKind::PREFETCH);
+    EXPECT_EQ(mem.demandBlocks(), 2u);
+    EXPECT_EQ(mem.prefetchBlocks(), 3u);
+    EXPECT_EQ(mem.writebackBlocks(), 1u);
+    EXPECT_EQ(mem.totalBlocks(), 6u);
+}
+
+TEST(MainMemory, ResetClearsCounters)
+{
+    MainMemory mem;
+    mem.transfer(TrafficKind::DEMAND);
+    mem.reset();
+    EXPECT_EQ(mem.totalBlocks(), 0u);
+}
+
+TEST(MainMemory, StatsGroupExportsCounters)
+{
+    MainMemory mem;
+    mem.transfer(TrafficKind::PREFETCH);
+    StatGroup g = mem.stats();
+    EXPECT_EQ(g.name(), "memory");
+    bool found = false;
+    for (const auto &s : g.stats()) {
+        if (s.name == "prefetch_blocks") {
+            EXPECT_DOUBLE_EQ(s.value, 1.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(MemAccessHelpers, Constructors)
+{
+    MemAccess l = makeLoad(0x100);
+    EXPECT_EQ(l.type, AccessType::LOAD);
+    EXPECT_FALSE(l.isWrite());
+    EXPECT_FALSE(l.isInstruction());
+
+    MemAccess s = makeStore(0x200, 4);
+    EXPECT_TRUE(s.isWrite());
+    EXPECT_EQ(s.size, 4);
+
+    MemAccess i = makeIfetch(0x300);
+    EXPECT_TRUE(i.isInstruction());
+    EXPECT_STREQ(toString(i.type), "ifetch");
+}

@@ -1,0 +1,184 @@
+/** @file Integration tests for the full memory system (Fig. 1). */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+#include "trace/source.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::uint32_t kBlock = 32;
+
+MemorySystemConfig
+tinySystem(bool streams = true)
+{
+    MemorySystemConfig c;
+    // Small caches so tests can generate misses cheaply.
+    c.l1.icache = {1024, 2, kBlock, ReplacementKind::LRU, true, true, 1};
+    c.l1.dcache = {1024, 2, kBlock, ReplacementKind::LRU, true, true, 2};
+    c.useStreams = streams;
+    c.streams.numStreams = 4;
+    c.streams.depth = 2;
+    c.streams.blockSize = kBlock;
+    c.memLatencyCycles = 50;
+    return c;
+}
+
+/** n sequential block-spaced loads from base. */
+std::vector<MemAccess>
+sequentialLoads(Addr base, int n)
+{
+    std::vector<MemAccess> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(makeLoad(base + i * kBlock));
+    return v;
+}
+
+} // namespace
+
+TEST(MemorySystem, L1HitsNeverReachStreams)
+{
+    MemorySystem sys(tinySystem());
+    sys.processAccess(makeLoad(0x100)); // Miss.
+    sys.processAccess(makeLoad(0x104)); // L1 hit.
+    sys.processAccess(makeLoad(0x108)); // L1 hit.
+    SystemResults r = sys.finish();
+    EXPECT_EQ(r.references, 3u);
+    EXPECT_EQ(r.l1Misses, 1u);
+    const PrefetchEngine *e = sys.engine();
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->engineStats().lookups, 1u);
+}
+
+TEST(MemorySystem, SequentialTraceMostlyHitsStreams)
+{
+    MemorySystem sys(tinySystem());
+    VectorSource src(sequentialLoads(0x100000, 200));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_EQ(r.l1Misses, 200u);
+    EXPECT_EQ(r.streamHits, 199u);
+    EXPECT_NEAR(r.streamHitRatePercent, 99.5, 0.1);
+}
+
+TEST(MemorySystem, StreamHitsAvoidDemandTraffic)
+{
+    MemorySystem sys(tinySystem());
+    VectorSource src(sequentialLoads(0x100000, 100));
+    sys.run(src);
+    sys.finish();
+    // Only the first miss went over the demand fast path; the rest
+    // were supplied by prefetches.
+    EXPECT_EQ(sys.memory().demandBlocks(), 1u);
+    EXPECT_GE(sys.memory().prefetchBlocks(), 100u);
+}
+
+TEST(MemorySystem, NoStreamsMeansAllDemandTraffic)
+{
+    MemorySystem sys(tinySystem(false));
+    VectorSource src(sequentialLoads(0x100000, 100));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_EQ(r.streamHits, 0u);
+    EXPECT_EQ(sys.memory().demandBlocks(), 100u);
+    EXPECT_EQ(sys.memory().prefetchBlocks(), 0u);
+}
+
+TEST(MemorySystem, WritebacksInvalidateStaleStreamCopies)
+{
+    MemorySystem sys(tinySystem());
+    // Dirty a block that conflicts, then force its eviction while a
+    // stream holds a stale copy of the same block.
+    sys.processAccess(makeStore(0x2000)); // Allocates stream @0x2020.
+    // The stream now holds 0x2020/0x2040. Dirty 0x2020 via the cache:
+    sys.processAccess(makeLoad(0x2020));  // Stream hit, pulled into L1.
+    sys.processAccess(makeStore(0x2024)); // L1 hit, dirties 0x2020.
+    // Evict 0x2020 from the 2-way set with two conflicting blocks.
+    sys.processAccess(makeLoad(0x2020 + 1024));
+    sys.processAccess(makeLoad(0x2020 + 2048));
+    sys.processAccess(makeLoad(0x2020 + 3072));
+    SystemResults r = sys.finish();
+    EXPECT_GE(r.writebacks, 1u);
+}
+
+TEST(MemorySystem, TimingChargesMemoryLatencyOnMisses)
+{
+    MemorySystemConfig config = tinySystem(false);
+    MemorySystem sys(config);
+    sys.processAccess(makeLoad(0x0)); // Miss: 50 cycles.
+    sys.processAccess(makeLoad(0x4)); // Hit: 1 cycle.
+    SystemResults r = sys.finish();
+    EXPECT_EQ(r.cycles, 51u);
+    EXPECT_NEAR(r.avgAccessCycles, 25.5, 0.01);
+}
+
+TEST(MemorySystem, BackToBackStreamHitsStallOnInflightPrefetch)
+{
+    // Consecutive misses arrive faster than memory returns prefetches,
+    // so early stream hits are "pending" (the Section 8 caveat).
+    MemorySystem sys(tinySystem());
+    VectorSource src(sequentialLoads(0x100000, 50));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.streamHitsPending, 0u);
+    EXPECT_EQ(r.streamHitsPending + r.streamHitsReady, r.streamHits);
+}
+
+TEST(MemorySystem, SpacedStreamHitsAreReady)
+{
+    // With enough L1 hits between misses, prefetches complete in time.
+    MemorySystemConfig config = tinySystem();
+    config.memLatencyCycles = 3;
+    MemorySystem sys(config);
+    std::vector<MemAccess> trace;
+    for (int i = 0; i < 20; ++i) {
+        trace.push_back(makeLoad(0x100000 + i * kBlock));
+        for (int j = 0; j < 8; ++j)
+            trace.push_back(makeLoad(0x100)); // Hot L1 hits.
+    }
+    VectorSource src(trace);
+    sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_GT(r.streamHitsReady, 10u);
+}
+
+TEST(MemorySystem, ResultsAreConsistent)
+{
+    MemorySystem sys(tinySystem());
+    std::vector<MemAccess> trace = sequentialLoads(0x0, 50);
+    trace.push_back(makeIfetch(0x40000));
+    trace.push_back(makeIfetch(0x40004));
+    VectorSource src(trace);
+    std::uint64_t n = sys.run(src);
+    SystemResults r = sys.finish();
+    EXPECT_EQ(n, 52u);
+    EXPECT_EQ(r.references, 52u);
+    EXPECT_EQ(r.instructionRefs, 2u);
+    EXPECT_EQ(r.dataRefs, 50u);
+    EXPECT_EQ(r.l1Misses, r.l1DataMisses + 1u);
+}
+
+TEST(MemorySystem, FinishIsIdempotent)
+{
+    MemorySystem sys(tinySystem());
+    VectorSource src(sequentialLoads(0, 10));
+    sys.run(src);
+    SystemResults a = sys.finish();
+    SystemResults b = sys.finish();
+    EXPECT_EQ(a.streamHits, b.streamHits);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(MemorySystem, BlockSizeMismatchIsReconciled)
+{
+    MemorySystemConfig config = tinySystem();
+    config.streams.blockSize = 64; // L1 uses 32.
+    MemorySystem sys(config);
+    VectorSource src(sequentialLoads(0x100000, 50));
+    sys.run(src);
+    SystemResults r = sys.finish();
+    // Streams must track the L1 block size: a sequential run hits.
+    EXPECT_GT(r.streamHitRatePercent, 90.0);
+}

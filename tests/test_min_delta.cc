@@ -1,0 +1,82 @@
+/** @file Unit tests for the minimum-delta stride detector (Section 7). */
+
+#include <gtest/gtest.h>
+
+#include "stream/min_delta.hh"
+
+using namespace sbsim;
+
+TEST(MinDelta, FirstMissHasNoHistory)
+{
+    MinDeltaDetector det(8);
+    EXPECT_FALSE(det.onMiss(0x1000).has_value());
+}
+
+TEST(MinDelta, SecondMissUsesDelta)
+{
+    MinDeltaDetector det(8);
+    det.onMiss(0x1000);
+    auto alloc = det.onMiss(0x1400);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->startAddr, 0x1400u);
+    EXPECT_EQ(alloc->stride, 0x400);
+}
+
+TEST(MinDelta, PicksMinimumAbsoluteDelta)
+{
+    MinDeltaDetector det(8);
+    det.onMiss(0x1000);
+    det.onMiss(0x9000);
+    auto alloc = det.onMiss(0x8c00); // 0x400 below 0x9000.
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->stride, -0x400);
+}
+
+TEST(MinDelta, ZeroDeltaIgnored)
+{
+    MinDeltaDetector det(8);
+    det.onMiss(0x1000);
+    EXPECT_FALSE(det.onMiss(0x1000).has_value());
+}
+
+TEST(MinDelta, MaxStrideCutoff)
+{
+    MinDeltaDetector det(8, /*max_stride=*/0x1000);
+    det.onMiss(0x1000);
+    EXPECT_FALSE(det.onMiss(0x900000).has_value());
+    EXPECT_EQ(det.allocations(), 0u);
+}
+
+TEST(MinDelta, HistoryIsFifoBounded)
+{
+    MinDeltaDetector det(2, 1 << 20);
+    det.onMiss(0x1000);
+    det.onMiss(0x50000);
+    det.onMiss(0x90000); // Evicts 0x1000.
+    // The nearest remaining entry to 0x2000 is 0x50000.
+    auto alloc = det.onMiss(0x2000);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->stride, 0x2000 - 0x50000);
+}
+
+TEST(MinDelta, StatsCount)
+{
+    MinDeltaDetector det(8);
+    det.onMiss(0x1000);
+    det.onMiss(0x2000);
+    EXPECT_EQ(det.lookups(), 2u);
+    EXPECT_EQ(det.allocations(), 1u);
+}
+
+TEST(MinDelta, ResetForgets)
+{
+    MinDeltaDetector det(8);
+    det.onMiss(0x1000);
+    det.reset();
+    EXPECT_FALSE(det.onMiss(0x1400).has_value());
+}
+
+TEST(MinDeltaDeath, NeedsEntries)
+{
+    EXPECT_DEATH(MinDeltaDetector(0), "entries");
+}

@@ -1,0 +1,293 @@
+/** @file Unit tests for the synthetic workload pattern engine. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/pattern.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** A spec with no fillers so pattern accesses are directly visible. */
+WorkloadSpec
+bareSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "test";
+    spec.timeSteps = 1;
+    spec.hotPerAccess = 0;
+    spec.ifetchPerAccess = 0;
+    return spec;
+}
+
+std::vector<MemAccess>
+generate(const WorkloadSpec &spec)
+{
+    ComposedWorkload w(spec);
+    return drain(w);
+}
+
+} // namespace
+
+TEST(Pattern, SweepEmitsInterleavedStreams)
+{
+    WorkloadSpec spec = bareSpec();
+    SweepOp op;
+    op.streams = {{0x1000, 32, AccessType::LOAD, 8},
+                  {0x9000, 64, AccessType::STORE, 8}};
+    op.count = 3;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[0].addr, 0x1000u);
+    EXPECT_EQ(trace[1].addr, 0x9000u);
+    EXPECT_EQ(trace[1].type, AccessType::STORE);
+    EXPECT_EQ(trace[2].addr, 0x1020u);
+    EXPECT_EQ(trace[3].addr, 0x9040u);
+    EXPECT_EQ(trace[4].addr, 0x1040u);
+}
+
+TEST(Pattern, SweepSegmentsRestartWithOffset)
+{
+    WorkloadSpec spec = bareSpec();
+    SweepOp op;
+    op.streams = {{0x1000, 0x400, AccessType::LOAD, 8}};
+    op.count = 2;
+    op.segments = 2;
+    op.segmentStride = 0x10000;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].addr, 0x1000u);
+    EXPECT_EQ(trace[1].addr, 0x1400u);
+    EXPECT_EQ(trace[2].addr, 0x11000u);
+    EXPECT_EQ(trace[3].addr, 0x11400u);
+}
+
+TEST(Pattern, TimeStepsRepeatTheOpList)
+{
+    WorkloadSpec spec = bareSpec();
+    spec.timeSteps = 3;
+    SweepOp op;
+    op.streams = {{0, 32, AccessType::LOAD, 8}};
+    op.count = 2;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[2].addr, trace[0].addr);
+    EXPECT_EQ(trace[4].addr, trace[0].addr);
+}
+
+TEST(Pattern, GatherAlternatesIndexAndData)
+{
+    WorkloadSpec spec = bareSpec();
+    GatherOp op;
+    op.idxBase = 0x1000;
+    op.count = 4;
+    op.dataBase = 0x100000;
+    op.dataRangeBytes = 0x10000;
+    op.elemSize = 8;
+    op.clusterLen = 2;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 8u);
+    // Even positions: index loads at 4-byte stride.
+    EXPECT_EQ(trace[0].addr, 0x1000u);
+    EXPECT_EQ(trace[0].size, 4u);
+    EXPECT_EQ(trace[2].addr, 0x1004u);
+    // Odd positions: data accesses within the target region.
+    for (int i = 1; i < 8; i += 2) {
+        EXPECT_GE(trace[i].addr, 0x100000u);
+        EXPECT_LT(trace[i].addr, 0x110000u);
+    }
+    // Cluster of 2: the second data access follows the first.
+    EXPECT_EQ(trace[3].addr, trace[1].addr + 8);
+}
+
+TEST(Pattern, GatherStoreBackEmitsStore)
+{
+    WorkloadSpec spec = bareSpec();
+    GatherOp op;
+    op.idxBase = 0x1000;
+    op.count = 1;
+    op.dataBase = 0x100000;
+    op.dataRangeBytes = 0x1000;
+    op.elemSize = 8;
+    op.clusterLen = 1;
+    op.storeBack = true;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[2].type, AccessType::STORE);
+    EXPECT_EQ(trace[2].addr, trace[1].addr);
+}
+
+TEST(Pattern, BurstEmitsUnitStrideRuns)
+{
+    WorkloadSpec spec = bareSpec();
+    BurstOp op;
+    op.base = 0x100000;
+    op.regionBytes = 0x100000;
+    op.bursts = 3;
+    op.burstBlocks = 4;
+    op.blockBytes = 32;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 12u);
+    for (int b = 0; b < 3; ++b) {
+        Addr start = trace[b * 4].addr;
+        EXPECT_EQ(start % 32, 0u);
+        for (int i = 1; i < 4; ++i)
+            EXPECT_EQ(trace[b * 4 + i].addr, start + i * 32u);
+    }
+}
+
+TEST(Pattern, BurstSubBlockGranularity)
+{
+    WorkloadSpec spec = bareSpec();
+    BurstOp op;
+    op.base = 0;
+    op.regionBytes = 0x10000;
+    op.bursts = 1;
+    op.burstBlocks = 2;
+    op.blockBytes = 32;
+    op.accessesPerBlock = 4;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 8u);
+    EXPECT_EQ(trace[1].addr, trace[0].addr + 8);
+    EXPECT_EQ(trace[4].addr, trace[0].addr + 32);
+}
+
+TEST(Pattern, IfetchInterleavesAndWraps)
+{
+    WorkloadSpec spec = bareSpec();
+    spec.ifetchPerAccess = 2;
+    spec.codeBase = 0x4000;
+    spec.loopBodyBytes = 16; // Wraps after 4 fetches.
+    SweepOp op;
+    op.streams = {{0x100000, 32, AccessType::LOAD, 8}};
+    op.count = 4;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 12u);
+    EXPECT_EQ(trace[0].type, AccessType::IFETCH);
+    EXPECT_EQ(trace[0].addr, 0x4000u);
+    EXPECT_EQ(trace[1].addr, 0x4004u);
+    EXPECT_EQ(trace[2].type, AccessType::LOAD);
+    // After 4 fetches the PC wraps back to codeBase.
+    EXPECT_EQ(trace[6].addr, 0x4000u);
+}
+
+TEST(Pattern, HotFillerFollowsEachAccess)
+{
+    WorkloadSpec spec = bareSpec();
+    spec.hotPerAccess = 2;
+    spec.hotBase = 0x8000;
+    spec.hotBytes = 64;
+    SweepOp op;
+    op.streams = {{0x100000, 32, AccessType::LOAD, 8}};
+    op.count = 2;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[1].addr, 0x8000u);
+    EXPECT_EQ(trace[2].addr, 0x8008u);
+    EXPECT_EQ(trace[4].addr, 0x8010u);
+}
+
+TEST(Pattern, NoiseBurstsAppearAtConfiguredRate)
+{
+    WorkloadSpec spec = bareSpec();
+    spec.noiseEvery = 2;
+    spec.noiseBurstLen = 3;
+    spec.noiseBase = 0x900000;
+    spec.noiseBytes = 0x100000;
+    SweepOp op;
+    op.streams = {{0x100000, 32, AccessType::LOAD, 8}};
+    op.count = 4;
+    spec.ops.push_back(op);
+    auto trace = generate(spec);
+    // 4 pattern accesses + 2 noise bursts of 3.
+    ASSERT_EQ(trace.size(), 10u);
+    int noise = 0;
+    for (const auto &a : trace)
+        if (a.addr >= 0x900000)
+            ++noise;
+    EXPECT_EQ(noise, 6);
+}
+
+TEST(Pattern, DeterministicAndResettable)
+{
+    WorkloadSpec spec = bareSpec();
+    spec.seed = 99;
+    BurstOp op;
+    op.base = 0;
+    op.regionBytes = 1 << 20;
+    op.bursts = 50;
+    op.burstBlocks = 2;
+    spec.ops.push_back(op);
+
+    ComposedWorkload a(spec), b(spec);
+    auto ta = drain(a);
+    auto tb = drain(b);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i)
+        ASSERT_EQ(ta[i], tb[i]);
+
+    a.reset();
+    auto ta2 = drain(a);
+    ASSERT_EQ(ta2.size(), ta.size());
+    for (std::size_t i = 0; i < ta.size(); ++i)
+        ASSERT_EQ(ta2[i], ta[i]);
+}
+
+TEST(Pattern, DifferentSeedsGiveDifferentRandomness)
+{
+    WorkloadSpec spec = bareSpec();
+    BurstOp op;
+    op.base = 0;
+    op.regionBytes = 1 << 20;
+    op.bursts = 20;
+    op.burstBlocks = 1;
+    spec.ops.push_back(op);
+    spec.seed = 1;
+    auto ta = generate(spec);
+    spec.seed = 2;
+    auto tb = generate(spec);
+    int same = 0;
+    for (std::size_t i = 0; i < ta.size(); ++i)
+        if (ta[i].addr == tb[i].addr)
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pattern, ExhaustionIsSticky)
+{
+    WorkloadSpec spec = bareSpec();
+    SweepOp op;
+    op.streams = {{0, 32, AccessType::LOAD, 8}};
+    op.count = 1;
+    spec.ops.push_back(op);
+    ComposedWorkload w(spec);
+    MemAccess a;
+    EXPECT_TRUE(w.next(a));
+    EXPECT_FALSE(w.next(a));
+    EXPECT_FALSE(w.next(a));
+}
+
+TEST(PatternDeath, EmptyOpsRejected)
+{
+    WorkloadSpec spec = bareSpec();
+    EXPECT_DEATH(ComposedWorkload{spec}, "no ops");
+}
+
+TEST(AddressArena, AllocatesAlignedDisjointRegions)
+{
+    AddressArena arena(0x1000);
+    Addr a = arena.alloc(100, 64);
+    Addr b = arena.alloc(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+}

@@ -1,0 +1,75 @@
+/** @file Unit tests for the deterministic PCG32 generator. */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+using namespace sbsim;
+
+TEST(Pcg32, DeterministicFromSeed)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BelowStaysInRange)
+{
+    Pcg32 rng(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Pcg32, BelowOneIsAlwaysZero)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; 10k samples keep it within a few percent.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform)
+{
+    Pcg32 rng(13);
+    int counts[8] = {};
+    const int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(8)];
+    for (int c : counts)
+        EXPECT_NEAR(c, draws / 8, draws / 8 * 0.1);
+}
+
+TEST(Pcg32, Next64CoversHighBits)
+{
+    Pcg32 rng(17);
+    bool high_seen = false;
+    for (int i = 0; i < 100; ++i)
+        if (rng.next64() >> 32)
+            high_seen = true;
+    EXPECT_TRUE(high_seen);
+}

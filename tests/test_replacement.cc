@@ -1,0 +1,94 @@
+/** @file Unit tests for the replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+using namespace sbsim;
+
+TEST(LruPolicy, VictimIsLeastRecentlyTouched)
+{
+    LruPolicy lru(4, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.fill(0, w);
+    lru.touch(0, 0);
+    // Way 1 is now the oldest.
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(LruPolicy, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.fill(1, 1);
+    lru.fill(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(LruPolicy, ResetForgetsHistory)
+{
+    LruPolicy lru(1, 2);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.touch(0, 0);
+    lru.reset();
+    // After reset all ways are equally old; the first wins.
+    EXPECT_EQ(lru.victim(0), 0u);
+}
+
+TEST(FifoPolicy, VictimIsOldestFillRegardlessOfTouches)
+{
+    FifoPolicy fifo(1, 3);
+    fifo.fill(0, 0);
+    fifo.fill(0, 1);
+    fifo.fill(0, 2);
+    fifo.touch(0, 0); // Touches must not matter.
+    EXPECT_EQ(fifo.victim(0), 0u);
+    fifo.fill(0, 0); // Refill: now way 1 is the oldest.
+    EXPECT_EQ(fifo.victim(0), 1u);
+}
+
+TEST(RandomPolicy, VictimsAreValidAndCoverAllWays)
+{
+    RandomPolicy rnd(1, 4, /*seed=*/9);
+    bool seen[4] = {};
+    for (int i = 0; i < 200; ++i) {
+        std::uint32_t v = rnd.victim(0);
+        ASSERT_LT(v, 4u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(RandomPolicy, DeterministicAcrossReset)
+{
+    RandomPolicy rnd(1, 4, 77);
+    std::vector<std::uint32_t> first;
+    for (int i = 0; i < 20; ++i)
+        first.push_back(rnd.victim(0));
+    rnd.reset();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rnd.victim(0), first[i]);
+}
+
+TEST(Factory, BuildsEachKind)
+{
+    auto lru = makeReplacementPolicy(ReplacementKind::LRU, 2, 2);
+    auto rnd = makeReplacementPolicy(ReplacementKind::RANDOM, 2, 2);
+    auto fifo = makeReplacementPolicy(ReplacementKind::FIFO, 2, 2);
+    EXPECT_NE(dynamic_cast<LruPolicy *>(lru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<RandomPolicy *>(rnd.get()), nullptr);
+    EXPECT_NE(dynamic_cast<FifoPolicy *>(fifo.get()), nullptr);
+}
+
+TEST(ReplacementKind, Names)
+{
+    EXPECT_STREQ(toString(ReplacementKind::LRU), "lru");
+    EXPECT_STREQ(toString(ReplacementKind::RANDOM), "random");
+    EXPECT_STREQ(toString(ReplacementKind::FIFO), "fifo");
+}

@@ -1,0 +1,148 @@
+/** @file Tests for the Baer-Chen RPT baseline. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/rpt_system.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr Addr kPc = 0x4000;
+
+RptPrefetcher
+makeRpt()
+{
+    return RptPrefetcher(RptConfig{});
+}
+
+} // namespace
+
+TEST(Rpt, SteadyStrideIsDetectedAfterTwoDeltas)
+{
+    RptPrefetcher rpt = makeRpt();
+    // Accesses from one PC at a constant 1 KB stride.
+    rpt.observe(makeLoad(0x10000, 8, kPc)); // Insert.
+    rpt.observe(makeLoad(0x10400, 8, kPc)); // INITIAL->TRANSIENT.
+    rpt.observe(makeLoad(0x10800, 8, kPc)); // TRANSIENT->STEADY+prefetch.
+    EXPECT_EQ(rpt.prefetchesIssued(), 1u);
+    // The predicted block is 0x10c00.
+    EXPECT_TRUE(rpt.probe(0x10c00));
+}
+
+TEST(Rpt, InitialCorrectZeroStrideDoesNotPrefetch)
+{
+    RptPrefetcher rpt = makeRpt();
+    rpt.observe(makeLoad(0x10000, 8, kPc));
+    rpt.observe(makeLoad(0x10000, 8, kPc)); // Delta 0 == stride 0.
+    rpt.observe(makeLoad(0x10000, 8, kPc));
+    EXPECT_EQ(rpt.prefetchesIssued(), 0u);
+}
+
+TEST(Rpt, RandomAddressesNeverReachSteady)
+{
+    RptPrefetcher rpt = makeRpt();
+    Pcg32 rng(5);
+    for (int i = 0; i < 500; ++i)
+        rpt.observe(makeLoad(rng.next() & ~7u, 8, kPc));
+    EXPECT_LT(rpt.prefetchesIssued(), 10u);
+}
+
+TEST(Rpt, SteadyStateSurvivesOneBlip)
+{
+    RptPrefetcher rpt = makeRpt();
+    for (int i = 0; i < 4; ++i)
+        rpt.observe(makeLoad(0x10000 + i * 0x400, 8, kPc));
+    std::uint64_t before = rpt.prefetchesIssued();
+    EXPECT_GT(before, 0u);
+    // One irregular access: STEADY -> INITIAL, stride kept.
+    rpt.observe(makeLoad(0x90000, 8, kPc));
+    // Resume: INITIAL with wrong delta -> TRANSIENT, then re-steady.
+    rpt.observe(makeLoad(0x91000, 8, kPc));
+    rpt.observe(makeLoad(0x92000, 8, kPc));
+    rpt.observe(makeLoad(0x93000, 8, kPc));
+    EXPECT_GT(rpt.prefetchesIssued(), before);
+}
+
+TEST(Rpt, DistinctPcsTrackDistinctStrides)
+{
+    RptPrefetcher rpt = makeRpt();
+    for (int i = 0; i < 4; ++i) {
+        rpt.observe(makeLoad(0x10000 + i * 0x400, 8, 0x4000));
+        rpt.observe(makeLoad(0x80000 + i * 0x2000, 8, 0x4004));
+    }
+    EXPECT_TRUE(rpt.probe(0x10000 + 4 * 0x400));
+    EXPECT_TRUE(rpt.probe(0x80000 + 4 * 0x2000));
+}
+
+TEST(Rpt, SubBlockStridesPrefetchNextBlockOnly)
+{
+    RptPrefetcher rpt = makeRpt();
+    // 8-byte stride: predictions within the same block are skipped.
+    for (int i = 0; i < 8; ++i)
+        rpt.observe(makeLoad(0x10000 + i * 8, 8, kPc));
+    // Only the block-crossing predictions were deposited.
+    EXPECT_LE(rpt.prefetchesIssued(), 3u);
+}
+
+TEST(Rpt, ProbeConsumesEntry)
+{
+    RptPrefetcher rpt = makeRpt();
+    for (int i = 0; i < 3; ++i)
+        rpt.observe(makeLoad(0x10000 + i * 0x400, 8, kPc));
+    EXPECT_TRUE(rpt.probe(0x10c00));
+    EXPECT_FALSE(rpt.probe(0x10c00));
+    EXPECT_EQ(rpt.usefulPrefetches(), 1u);
+    EXPECT_EQ(rpt.probes(), 2u);
+}
+
+TEST(Rpt, IgnoresInstructionAndPcLessAccesses)
+{
+    RptPrefetcher rpt = makeRpt();
+    for (int i = 0; i < 5; ++i) {
+        rpt.observe(makeIfetch(0x4000 + i * 4));
+        rpt.observe(makeLoad(0x10000 + i * 0x400)); // pc == 0.
+    }
+    EXPECT_EQ(rpt.prefetchesIssued(), 0u);
+}
+
+TEST(RptSystem, CoversStridedWorkload)
+{
+    RptSystem sys(SplitCacheConfig::paperDefault(), RptConfig{});
+    // One instruction walking a large array at a 4 KB stride: the RPT
+    // covers it without any czone tuning.
+    for (int i = 0; i < 2000; ++i)
+        sys.processAccess(makeLoad(0x1000000 + i * 0x1000, 8, kPc));
+    EXPECT_GT(sys.rpt().coveragePercent(), 95.0);
+}
+
+TEST(RptSystem, IndirectionDefeatsIt)
+{
+    RptSystem sys(SplitCacheConfig::paperDefault(), RptConfig{});
+    Pcg32 rng(9);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = 0x1000000 + rng.below(1 << 22) / 32 * 32;
+        sys.processAccess(makeLoad(a, 8, kPc));
+    }
+    EXPECT_LT(sys.rpt().coveragePercent(), 5.0);
+}
+
+TEST(Rpt, ResetClearsEverything)
+{
+    RptPrefetcher rpt = makeRpt();
+    for (int i = 0; i < 3; ++i)
+        rpt.observe(makeLoad(0x10000 + i * 0x400, 8, kPc));
+    rpt.reset();
+    EXPECT_EQ(rpt.prefetchesIssued(), 0u);
+    EXPECT_FALSE(rpt.probe(0x10c00));
+}
+
+TEST(RptDeath, Validation)
+{
+    RptConfig config;
+    config.tableEntries = 0;
+    EXPECT_DEATH(RptPrefetcher{config}, "table");
+    config = RptConfig{};
+    config.bufferEntries = 0;
+    EXPECT_DEATH(RptPrefetcher{config}, "buffer");
+}

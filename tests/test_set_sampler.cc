@@ -1,0 +1,120 @@
+/** @file Unit tests for set sampling of large caches. */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_sampler.hh"
+
+using namespace sbsim;
+
+namespace {
+
+CacheConfig
+bigCache(std::uint64_t size = 1 << 20, std::uint32_t assoc = 4,
+         std::uint32_t block = 64)
+{
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.assoc = assoc;
+    c.blockSize = block;
+    c.replacement = ReplacementKind::LRU;
+    return c;
+}
+
+} // namespace
+
+TEST(SampledCache, AcceptsExpectedFraction)
+{
+    SampledCache sc(bigCache(), /*sample_log2=*/3);
+    std::uint64_t accepted = 0;
+    const std::uint64_t n = 1 << 16;
+    for (std::uint64_t i = 0; i < n; ++i)
+        if (sc.accepts(i * 128))
+            ++accepted;
+    EXPECT_EQ(accepted, n / 8);
+}
+
+TEST(SampledCache, ZeroSamplingAcceptsEverything)
+{
+    SampledCache sc(bigCache(), 0);
+    for (Addr a : {Addr{0}, Addr{12345}, Addr{1 << 20}})
+        EXPECT_TRUE(sc.accepts(a));
+}
+
+TEST(SampledCache, SameSliceAcrossConfigurations)
+{
+    // The whole point of sampling on fixed address bits: every
+    // configuration in a comparison sees the same blocks.
+    SampledCache a(bigCache(1 << 20, 1, 64), 3);
+    SampledCache b(bigCache(1 << 22, 4, 128), 3);
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        Addr addr = i * 128 + 8;
+        EXPECT_EQ(a.accepts(addr), b.accepts(addr)) << addr;
+    }
+}
+
+TEST(SampledCache, SampledHitRateTracksExactOnSequentialScan)
+{
+    // A repeating sequential scan over half the cache: everything
+    // fits, so both exact and sampled simulation converge to ~100%
+    // hit rate after the cold pass.
+    CacheConfig config = bigCache(1 << 18, 4, 64);
+    SampledCache exact(config, 0);
+    SampledCache sampled(config, 3);
+    const std::uint64_t region = 1 << 17;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t a = 0; a < region; a += 64) {
+            MemAccess m = makeLoad(a);
+            if (exact.accepts(a))
+                exact.access(m);
+            if (sampled.accepts(a))
+                sampled.access(m);
+        }
+    }
+    EXPECT_NEAR(exact.hitRatePercent(), sampled.hitRatePercent(), 2.0);
+    EXPECT_NEAR(sampled.sampledAccesses(),
+                exact.sampledAccesses() / 8.0,
+                exact.sampledAccesses() / 80.0);
+}
+
+TEST(SampledCache, SampledHitRateTracksExactOnThrashingScan)
+{
+    // A scan over 4x the cache size: mostly misses in both.
+    CacheConfig config = bigCache(1 << 16, 2, 64);
+    SampledCache exact(config, 0);
+    SampledCache sampled(config, 2);
+    const std::uint64_t region = 1 << 18;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t a = 0; a < region; a += 64) {
+            MemAccess m = makeLoad(a);
+            if (exact.accepts(a))
+                exact.access(m);
+            if (sampled.accepts(a))
+                sampled.access(m);
+        }
+    }
+    EXPECT_NEAR(exact.hitRatePercent(), sampled.hitRatePercent(), 3.0);
+}
+
+TEST(SampledCacheDeath, RejectsOutOfRangeResidue)
+{
+    EXPECT_DEATH(SampledCache(bigCache(), 3, /*residue=*/8),
+                 "residue");
+}
+
+TEST(SampledCacheDeath, RejectsOverlapWithBlockOffset)
+{
+    EXPECT_DEATH(SampledCache(bigCache(1 << 20, 4, 256), 3, 0,
+                              /*sample_bit_shift=*/7),
+                 "block offset");
+}
+
+TEST(SampledCache, TinyCacheScalingClampsToMinimum)
+{
+    // 64 KB cache sampled 1/8 would be 8 KB; with assoc 4 x 128 B
+    // blocks the minimum legal size is 512 B, so this stays valid.
+    SampledCache sc(bigCache(64 * 1024, 4, 128), 3);
+    MemAccess m = makeLoad(0);
+    ASSERT_TRUE(sc.accepts(0));
+    sc.access(m);
+    EXPECT_EQ(sc.sampledAccesses(), 1u);
+}

@@ -1,0 +1,91 @@
+/** @file Unit tests for the split I/D primary cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/split_cache.hh"
+
+using namespace sbsim;
+
+namespace {
+
+SplitCacheConfig
+tinySplit()
+{
+    SplitCacheConfig c;
+    c.icache = {1024, 2, 32, ReplacementKind::LRU, true, true, 1};
+    c.dcache = {1024, 2, 32, ReplacementKind::LRU, true, true, 2};
+    return c;
+}
+
+} // namespace
+
+TEST(SplitCache, RoutesByAccessType)
+{
+    SplitCache l1(tinySplit());
+    l1.access(makeIfetch(0x100));
+    l1.access(makeLoad(0x100));
+    l1.access(makeStore(0x200));
+    EXPECT_EQ(l1.icache().accesses(), 1u);
+    EXPECT_EQ(l1.dcache().accesses(), 2u);
+    EXPECT_EQ(l1.accesses(), 3u);
+}
+
+TEST(SplitCache, SidesAreIndependent)
+{
+    SplitCache l1(tinySplit());
+    l1.access(makeIfetch(0x100));
+    // Same address as data: still a cold miss in the D-cache.
+    EXPECT_FALSE(l1.access(makeLoad(0x100)).hit);
+    EXPECT_TRUE(l1.access(makeIfetch(0x100)).hit);
+}
+
+TEST(SplitCache, FillRoutesBySide)
+{
+    SplitCache l1(tinySplit());
+    l1.fill(0x300, AccessType::LOAD);
+    EXPECT_TRUE(l1.dcache().probe(0x300));
+    EXPECT_FALSE(l1.icache().probe(0x300));
+    l1.fill(0x400, AccessType::IFETCH);
+    EXPECT_TRUE(l1.icache().probe(0x400));
+}
+
+TEST(SplitCache, CombinedMissRate)
+{
+    SplitCache l1(tinySplit());
+    l1.access(makeIfetch(0x0)); // Miss.
+    l1.access(makeIfetch(0x0)); // Hit.
+    l1.access(makeLoad(0x0));   // Miss.
+    l1.access(makeLoad(0x0));   // Hit.
+    EXPECT_DOUBLE_EQ(l1.missRatePercent(), 50.0);
+    EXPECT_EQ(l1.misses(), 2u);
+}
+
+TEST(SplitCache, PaperDefaultGeometry)
+{
+    SplitCacheConfig c = SplitCacheConfig::paperDefault();
+    EXPECT_EQ(c.icache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.dcache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.icache.assoc, 4u);
+    EXPECT_EQ(c.dcache.assoc, 4u);
+    EXPECT_EQ(c.dcache.replacement, ReplacementKind::RANDOM);
+    EXPECT_TRUE(c.dcache.writeAllocate);
+    EXPECT_TRUE(c.dcache.writeBack);
+}
+
+TEST(SplitCache, ResetClearsBothSides)
+{
+    SplitCache l1(tinySplit());
+    l1.access(makeIfetch(0x0));
+    l1.access(makeLoad(0x0));
+    l1.reset();
+    EXPECT_EQ(l1.accesses(), 0u);
+    EXPECT_FALSE(l1.icache().probe(0x0));
+    EXPECT_FALSE(l1.dcache().probe(0x0));
+}
+
+TEST(SplitCacheDeath, MismatchedBlockSizes)
+{
+    SplitCacheConfig c = tinySplit();
+    c.icache.blockSize = 64;
+    EXPECT_DEATH(SplitCache{c}, "block size");
+}

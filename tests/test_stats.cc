@@ -1,0 +1,108 @@
+/** @file Unit tests for counters and bucketed distributions. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+using namespace sbsim;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratios, ZeroDenominatorIsZero)
+{
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+}
+
+class DistributionTest : public ::testing::Test
+{
+  protected:
+    /** The paper's Table 3 buckets. */
+    BucketedDistribution dist_{{5, 10, 15, 20}};
+};
+
+TEST_F(DistributionTest, HasOverflowBucket)
+{
+    EXPECT_EQ(dist_.size(), 5u);
+}
+
+TEST_F(DistributionTest, SamplesLandInCorrectBuckets)
+{
+    dist_.sample(1);
+    dist_.sample(5);
+    dist_.sample(6);
+    dist_.sample(10);
+    dist_.sample(11);
+    dist_.sample(15);
+    dist_.sample(16);
+    dist_.sample(20);
+    dist_.sample(21);
+    dist_.sample(1000);
+    EXPECT_EQ(dist_.count(0), 2u);
+    EXPECT_EQ(dist_.count(1), 2u);
+    EXPECT_EQ(dist_.count(2), 2u);
+    EXPECT_EQ(dist_.count(3), 2u);
+    EXPECT_EQ(dist_.count(4), 2u);
+    EXPECT_EQ(dist_.total(), 10u);
+}
+
+TEST_F(DistributionTest, WeightedSamples)
+{
+    // Table 3 weights each stream by its hit count.
+    dist_.sample(3, 3);
+    dist_.sample(25, 25);
+    EXPECT_EQ(dist_.total(), 28u);
+    EXPECT_NEAR(dist_.sharePercent(0), 100.0 * 3 / 28, 1e-9);
+    EXPECT_NEAR(dist_.sharePercent(4), 100.0 * 25 / 28, 1e-9);
+}
+
+TEST_F(DistributionTest, Labels)
+{
+    EXPECT_EQ(dist_.bucketLabel(0), "0-5");
+    EXPECT_EQ(dist_.bucketLabel(1), "6-10");
+    EXPECT_EQ(dist_.bucketLabel(3), "16-20");
+    EXPECT_EQ(dist_.bucketLabel(4), ">20");
+}
+
+TEST_F(DistributionTest, ResetClears)
+{
+    dist_.sample(7);
+    dist_.reset();
+    EXPECT_EQ(dist_.total(), 0u);
+    EXPECT_EQ(dist_.count(1), 0u);
+    EXPECT_DOUBLE_EQ(dist_.sharePercent(1), 0.0);
+}
+
+TEST(DistributionDeath, RejectsBadBounds)
+{
+    EXPECT_DEATH(BucketedDistribution({}), "bucket");
+    EXPECT_DEATH(BucketedDistribution({5, 5}), "ascending");
+    EXPECT_DEATH(BucketedDistribution({10, 5}), "ascending");
+}
+
+TEST(StatGroup, PrintsNameDotStat)
+{
+    StatGroup g("cache");
+    g.add("hits", 42, "total hits");
+    g.add("misses", 7);
+    std::ostringstream os;
+    g.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("cache.hits"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("# total hits"), std::string::npos);
+    EXPECT_NE(text.find("cache.misses"), std::string::npos);
+}

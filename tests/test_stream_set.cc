@@ -1,0 +1,131 @@
+/** @file Unit tests for the multi-way stream set with LRU reallocation. */
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_set.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::uint32_t kBlock = 32;
+
+} // namespace
+
+TEST(StreamSet, LookupMissesWhenEmpty)
+{
+    StreamSet set(4, 2, kBlock);
+    EXPECT_FALSE(set.lookup(0x1000, 0).hit);
+}
+
+TEST(StreamSet, AllocateThenHit)
+{
+    StreamSet set(4, 2, kBlock);
+    StreamAllocation alloc = set.allocate(0x1000, kBlock, 0);
+    EXPECT_EQ(alloc.issued.size(), 2u);
+    StreamLookup hit = set.lookup(0x1020, 1);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.stream, alloc.stream);
+    EXPECT_EQ(hit.consume.block, 0x1020u);
+}
+
+TEST(StreamSet, MultipleStreamsTrackInterleavedSequences)
+{
+    StreamSet set(4, 2, kBlock);
+    set.allocate(0x1000, kBlock, 0);
+    set.allocate(0x80000, kBlock, 1);
+    set.allocate(0x200000, 1024, 2);
+    // Interleaved hits on all three.
+    for (int i = 1; i <= 5; ++i) {
+        EXPECT_TRUE(
+            set.lookup(0x1000 + i * kBlock, 10 + i).hit);
+        EXPECT_TRUE(
+            set.lookup(0x80000 + i * kBlock, 20 + i).hit);
+        EXPECT_TRUE(set.lookup(0x200000 + i * 1024, 30 + i).hit);
+    }
+}
+
+TEST(StreamSet, InactiveStreamsAllocatedFirst)
+{
+    StreamSet set(3, 2, kBlock);
+    auto a0 = set.allocate(0x1000, kBlock, 0);
+    auto a1 = set.allocate(0x2000, kBlock, 1);
+    auto a2 = set.allocate(0x3000, kBlock, 2);
+    // Three allocations use three distinct streams.
+    EXPECT_NE(a0.stream, a1.stream);
+    EXPECT_NE(a1.stream, a2.stream);
+    EXPECT_NE(a0.stream, a2.stream);
+    EXPECT_FALSE(a0.flushed.wasActive);
+    EXPECT_FALSE(a1.flushed.wasActive);
+    EXPECT_FALSE(a2.flushed.wasActive);
+}
+
+TEST(StreamSet, LruVictimIsOldestUntouched)
+{
+    StreamSet set(2, 2, kBlock);
+    auto a0 = set.allocate(0x1000, kBlock, 0);
+    auto a1 = set.allocate(0x2000, kBlock, 1);
+    // Touch stream 0 via a hit: stream 1 becomes LRU.
+    ASSERT_TRUE(set.lookup(0x1020, 2).hit);
+    auto a2 = set.allocate(0x3000, kBlock, 3);
+    EXPECT_EQ(a2.stream, a1.stream);
+    EXPECT_TRUE(a2.flushed.wasActive);
+    (void)a0;
+}
+
+TEST(StreamSet, ReallocationReportsFlushedRun)
+{
+    StreamSet set(1, 2, kBlock);
+    set.allocate(0x1000, kBlock, 0);
+    set.lookup(0x1020, 1);
+    set.lookup(0x1040, 2);
+    auto realloc = set.allocate(0x9000, kBlock, 3);
+    EXPECT_EQ(realloc.flushed.hitRun, 2u);
+    EXPECT_EQ(realloc.flushed.uselessPrefetches, 2u);
+}
+
+TEST(StreamSet, InvalidateHitsEveryStream)
+{
+    StreamSet set(2, 2, kBlock);
+    set.allocate(0x1000, kBlock, 0);
+    // Both streams end up holding block 0x1040 in some entry.
+    set.allocate(0x1020, kBlock, 1);
+    EXPECT_EQ(set.invalidate(0x1040), 2u);
+}
+
+TEST(StreamSet, DrainAllReportsEveryActiveStream)
+{
+    StreamSet set(3, 2, kBlock);
+    set.allocate(0x1000, kBlock, 0);
+    set.allocate(0x2000, kBlock, 1);
+    auto flushes = set.drainAll();
+    ASSERT_EQ(flushes.size(), 3u);
+    int active = 0;
+    std::uint32_t useless = 0;
+    for (const auto &f : flushes) {
+        if (f.wasActive)
+            ++active;
+        useless += f.uselessPrefetches;
+    }
+    EXPECT_EQ(active, 2);
+    EXPECT_EQ(useless, 4u);
+}
+
+TEST(StreamSet, HitMakesStreamMostRecentlyUsed)
+{
+    StreamSet set(2, 2, kBlock);
+    auto a0 = set.allocate(0x1000, kBlock, 0);
+    auto a1 = set.allocate(0x2000, kBlock, 1);
+    // Hit the older stream (a0): a1 becomes the LRU victim.
+    set.lookup(0x1020, 2);
+    auto a2 = set.allocate(0x3000, kBlock, 3);
+    EXPECT_EQ(a2.stream, a1.stream);
+    // a0's stream still hits.
+    EXPECT_TRUE(set.lookup(0x1040, 4).hit);
+    (void)a0;
+}
+
+TEST(StreamSetDeath, NeedsAtLeastOneStream)
+{
+    EXPECT_DEATH(StreamSet(0, 2, kBlock), "stream");
+}

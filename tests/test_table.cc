@@ -1,0 +1,88 @@
+/** @file Unit tests for the ASCII table printer and formatters. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using namespace sbsim;
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"foo", "1"});
+    t.addRow({"barbaz", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("foo"), std::string::npos);
+    EXPECT_NE(text.find("barbaz"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAlign)
+{
+    TablePrinter t({"n", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"longname", "100"});
+    std::ostringstream os;
+    t.print(os);
+    // Every line has the same length (trailing-space padding aside).
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line);
+    std::size_t header_len = line.size();
+    std::getline(in, line); // Separator.
+    EXPECT_EQ(line.size(), header_len);
+}
+
+TEST(TablePrinterDeath, RejectsWrongCellCount)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TablePrinterDeath, RejectsEmptyHeader)
+{
+    EXPECT_DEATH(TablePrinter({}), "column");
+}
+
+TEST(Format, Doubles)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.0, 0), "3");
+    EXPECT_EQ(fmt(99.95, 1), "100.0");
+}
+
+TEST(Format, Integers)
+{
+    EXPECT_EQ(fmt(std::uint64_t{0}), "0");
+    EXPECT_EQ(fmt(std::uint64_t{123456}), "123456");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512 B");
+    EXPECT_EQ(fmtBytes(64 * 1024), "64 KB");
+    EXPECT_EQ(fmtBytes(2 * 1024 * 1024), "2 MB");
+    EXPECT_EQ(fmtBytes(3ULL * 1024 * 1024 * 1024), "3 GB");
+    // Non-multiples stay at the finest exact unit.
+    EXPECT_EQ(fmtBytes(1536), "1536 B");
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"with,comma", "2"});
+    t.addRow({"with\"quote", "3"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\n"
+                        "plain,1\n"
+                        "\"with,comma\",2\n"
+                        "\"with\"\"quote\",3\n");
+}

@@ -1,0 +1,104 @@
+/** @file Unit tests for time sampling and trace truncation. */
+
+#include <gtest/gtest.h>
+
+#include "trace/source.hh"
+#include "trace/time_sampler.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** A source of `n` loads at consecutive word addresses. */
+VectorSource
+countingSource(std::uint64_t n)
+{
+    std::vector<MemAccess> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(makeLoad(i * 8));
+    return VectorSource(std::move(v));
+}
+
+} // namespace
+
+TEST(TimeSampler, PassesOnWindowDropsOffWindow)
+{
+    VectorSource src = countingSource(100);
+    TimeSampler sampler(src, 10, 90);
+    auto sampled = drain(sampler);
+    ASSERT_EQ(sampled.size(), 10u);
+    // The first on-window is the first 10 references.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sampled[i].addr, static_cast<Addr>(i * 8));
+    EXPECT_EQ(sampler.sampledCount(), 10u);
+    EXPECT_EQ(sampler.skippedCount(), 90u);
+}
+
+TEST(TimeSampler, TenPercentOverLongTrace)
+{
+    VectorSource src = countingSource(100000);
+    TimeSampler sampler(src, 1000, 9000);
+    auto sampled = drain(sampler);
+    EXPECT_EQ(sampled.size(), 10000u);
+}
+
+TEST(TimeSampler, SecondWindowComesAfterGap)
+{
+    VectorSource src = countingSource(25);
+    TimeSampler sampler(src, 5, 5);
+    auto sampled = drain(sampler);
+    // Windows: [0,5) on, [5,10) off, [10,15) on, [15,20) off, [20,25) on.
+    ASSERT_EQ(sampled.size(), 15u);
+    EXPECT_EQ(sampled[5].addr, 10u * 8);
+    EXPECT_EQ(sampled[10].addr, 20u * 8);
+}
+
+TEST(TimeSampler, ExhaustionMidOffWindow)
+{
+    VectorSource src = countingSource(12);
+    TimeSampler sampler(src, 5, 100);
+    auto sampled = drain(sampler);
+    EXPECT_EQ(sampled.size(), 5u);
+}
+
+TEST(TimeSampler, ResetRestartsPattern)
+{
+    VectorSource src = countingSource(30);
+    TimeSampler sampler(src, 3, 7);
+    drain(sampler);
+    sampler.reset();
+    auto again = drain(sampler);
+    EXPECT_EQ(again.size(), 9u);
+    EXPECT_EQ(again[0].addr, 0u);
+}
+
+TEST(TimeSamplerDeath, RejectsZeroOnCount)
+{
+    VectorSource src = countingSource(1);
+    EXPECT_DEATH(TimeSampler(src, 0, 10), "on_count");
+}
+
+TEST(TruncatingSource, StopsAtLimit)
+{
+    VectorSource src = countingSource(100);
+    TruncatingSource limited(src, 7);
+    auto out = drain(limited);
+    EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(TruncatingSource, LimitBeyondSourceIsHarmless)
+{
+    VectorSource src = countingSource(5);
+    TruncatingSource limited(src, 100);
+    EXPECT_EQ(drain(limited).size(), 5u);
+}
+
+TEST(TruncatingSource, ResetRestoresBudget)
+{
+    VectorSource src = countingSource(100);
+    TruncatingSource limited(src, 4);
+    drain(limited);
+    limited.reset();
+    EXPECT_EQ(drain(limited).size(), 4u);
+}

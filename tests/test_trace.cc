@@ -1,0 +1,151 @@
+/** @file Unit tests for trace sources and the binary trace format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/file_trace.hh"
+#include "trace/source.hh"
+#include "trace/trace_stats.hh"
+
+using namespace sbsim;
+
+namespace {
+
+std::vector<MemAccess>
+sampleTrace()
+{
+    return {makeLoad(0x1000), makeStore(0x2008, 4), makeIfetch(0x40),
+            makeLoad(0x1020), makeIfetch(0x44), makeStore(0x2010)};
+}
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+TEST(VectorSource, IteratesAndResets)
+{
+    VectorSource src(sampleTrace());
+    EXPECT_EQ(src.size(), 6u);
+    MemAccess a;
+    int n = 0;
+    while (src.next(a))
+        ++n;
+    EXPECT_EQ(n, 6);
+    EXPECT_FALSE(src.next(a));
+    src.reset();
+    EXPECT_TRUE(src.next(a));
+    EXPECT_EQ(a.addr, 0x1000u);
+}
+
+TEST(Drain, CollectsEverything)
+{
+    VectorSource src(sampleTrace());
+    auto all = drain(src);
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[1].addr, 0x2008u);
+    EXPECT_EQ(all[1].size, 4u);
+}
+
+TEST(FileTrace, RoundTripsExactly)
+{
+    std::string path = tempPath("sbsim_roundtrip.trace");
+    auto original = sampleTrace();
+    {
+        TraceWriter writer(path);
+        for (const auto &a : original)
+            writer.append(a);
+        EXPECT_EQ(writer.recordsWritten(), 6u);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 6u);
+    auto replayed = drain(reader);
+    ASSERT_EQ(replayed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(replayed[i], original[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(FileTrace, AppendAllAndReset)
+{
+    std::string path = tempPath("sbsim_appendall.trace");
+    {
+        VectorSource src(sampleTrace());
+        TraceWriter writer(path);
+        EXPECT_EQ(writer.appendAll(src), 6u);
+    }
+    TraceReader reader(path);
+    MemAccess a;
+    EXPECT_TRUE(reader.next(a));
+    EXPECT_TRUE(reader.next(a));
+    reader.reset();
+    auto all = drain(reader);
+    EXPECT_EQ(all.size(), 6u);
+    std::remove(path.c_str());
+}
+
+TEST(FileTrace, EmptyTraceIsValid)
+{
+    std::string path = tempPath("sbsim_empty.trace");
+    {
+        TraceWriter writer(path);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    MemAccess a;
+    EXPECT_FALSE(reader.next(a));
+    std::remove(path.c_str());
+}
+
+TEST(FileTraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader{"/nonexistent/path/x.trace"},
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(FileTraceDeath, BadMagicIsFatal)
+{
+    std::string path = tempPath("sbsim_badmagic.trace");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOT A TRACE FILE AT ALL";
+    }
+    EXPECT_EXIT(TraceReader{path}, ::testing::ExitedWithCode(1),
+                "bad trace magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceStats, CountsByTypeAndFootprint)
+{
+    VectorSource src(sampleTrace());
+    TraceStats stats(src, 32);
+    MemAccess a;
+    while (stats.next(a)) {
+    }
+    EXPECT_EQ(stats.loads(), 2u);
+    EXPECT_EQ(stats.stores(), 2u);
+    EXPECT_EQ(stats.ifetches(), 2u);
+    EXPECT_EQ(stats.dataReferences(), 4u);
+    EXPECT_EQ(stats.total(), 6u);
+    // Data blocks touched: 0x1000, 0x2000, 0x1020 -> 3 blocks
+    // (0x2008 and 0x2010 share block 0x2000).
+    EXPECT_EQ(stats.uniqueDataBlocks(), 3u);
+    EXPECT_EQ(stats.footprintBytes(), 96u);
+}
+
+TEST(TraceStats, ResetRestartsUnderlying)
+{
+    VectorSource src(sampleTrace());
+    TraceStats stats(src);
+    MemAccess a;
+    while (stats.next(a)) {
+    }
+    stats.reset();
+    EXPECT_EQ(stats.total(), 0u);
+    EXPECT_TRUE(stats.next(a));
+}

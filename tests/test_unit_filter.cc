@@ -1,0 +1,102 @@
+/** @file Unit tests for the unit-stride allocation filter (Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "stream/unit_filter.hh"
+
+using namespace sbsim;
+
+TEST(UnitFilter, IsolatedMissDoesNotAllocate)
+{
+    UnitStrideFilter filter(8);
+    EXPECT_FALSE(filter.onStreamMiss(100));
+    EXPECT_FALSE(filter.onStreamMiss(500));
+    EXPECT_FALSE(filter.onStreamMiss(900));
+}
+
+TEST(UnitFilter, ConsecutiveBlocksAllocate)
+{
+    UnitStrideFilter filter(8);
+    EXPECT_FALSE(filter.onStreamMiss(100)); // Stores expectation 101.
+    EXPECT_TRUE(filter.onStreamMiss(101));  // Verified!
+}
+
+TEST(UnitFilter, EntryFreedAfterMatch)
+{
+    UnitStrideFilter filter(8);
+    filter.onStreamMiss(100);
+    EXPECT_TRUE(filter.onStreamMiss(101));
+    // The match consumed the entry; a repeat does not re-match. It
+    // stores 102 instead.
+    EXPECT_FALSE(filter.onStreamMiss(101));
+    EXPECT_TRUE(filter.onStreamMiss(102));
+}
+
+TEST(UnitFilter, NonAdjacentNeverMatches)
+{
+    UnitStrideFilter filter(8);
+    filter.onStreamMiss(100);
+    EXPECT_FALSE(filter.onStreamMiss(102)); // Gap of one block.
+    EXPECT_FALSE(filter.onStreamMiss(99));  // Backwards.
+}
+
+TEST(UnitFilter, InterleavedStreamsBothVerify)
+{
+    UnitStrideFilter filter(8);
+    EXPECT_FALSE(filter.onStreamMiss(100));
+    EXPECT_FALSE(filter.onStreamMiss(2000));
+    EXPECT_TRUE(filter.onStreamMiss(101));
+    EXPECT_TRUE(filter.onStreamMiss(2001));
+}
+
+TEST(UnitFilter, FifoReplacementEvictsOldest)
+{
+    UnitStrideFilter filter(2);
+    filter.onStreamMiss(100); // Expect 101.
+    filter.onStreamMiss(200); // Expect 201.
+    filter.onStreamMiss(300); // Evicts expectation 101 (oldest).
+    EXPECT_TRUE(filter.onStreamMiss(201));  // Survived.
+    EXPECT_FALSE(filter.onStreamMiss(101)); // Evicted.
+}
+
+TEST(UnitFilter, StatsTrackMatchRate)
+{
+    UnitStrideFilter filter(8);
+    filter.onStreamMiss(10);
+    filter.onStreamMiss(11);
+    filter.onStreamMiss(999);
+    EXPECT_EQ(filter.lookups(), 3u);
+    EXPECT_EQ(filter.matches(), 1u);
+    EXPECT_NEAR(filter.matchRatePercent(), 33.33, 0.01);
+}
+
+TEST(UnitFilter, ResetForgetsExpectations)
+{
+    UnitStrideFilter filter(8);
+    filter.onStreamMiss(100);
+    filter.reset();
+    EXPECT_FALSE(filter.onStreamMiss(101));
+    EXPECT_EQ(filter.lookups(), 1u);
+}
+
+TEST(UnitFilterDeath, NeedsEntries)
+{
+    EXPECT_DEATH(UnitStrideFilter(0), "entries");
+}
+
+/** Property: a strided miss sequence with stride >= 2 blocks never
+ *  triggers allocation, whatever the filter size. */
+class UnitFilterStrideProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(UnitFilterStrideProperty, LargeStridesFiltered)
+{
+    std::uint64_t stride = GetParam();
+    UnitStrideFilter filter(16);
+    for (std::uint64_t block = 0; block < 100 * stride; block += stride)
+        ASSERT_FALSE(filter.onStreamMiss(block)) << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, UnitFilterStrideProperty,
+                         ::testing::Values(2u, 3u, 7u, 32u, 512u));

@@ -1,0 +1,79 @@
+/** @file Unit tests for Jouppi's victim buffer. */
+
+#include <gtest/gtest.h>
+
+#include "cache/victim_buffer.hh"
+
+using namespace sbsim;
+
+TEST(VictimBuffer, MissOnEmpty)
+{
+    VictimBuffer vb(4, 32);
+    bool dirty = false;
+    EXPECT_FALSE(vb.probeAndExtract(0x100, dirty));
+    EXPECT_EQ(vb.probes(), 1u);
+    EXPECT_EQ(vb.hits(), 0u);
+}
+
+TEST(VictimBuffer, HitExtractsEntry)
+{
+    VictimBuffer vb(4, 32);
+    vb.insert(0x100, /*dirty=*/true);
+    bool dirty = false;
+    EXPECT_TRUE(vb.probeAndExtract(0x108, dirty)); // Same block.
+    EXPECT_TRUE(dirty);
+    // Extracted: a second probe misses.
+    EXPECT_FALSE(vb.probeAndExtract(0x100, dirty));
+}
+
+TEST(VictimBuffer, PreservesCleanBit)
+{
+    VictimBuffer vb(4, 32);
+    vb.insert(0x200, false);
+    bool dirty = true;
+    EXPECT_TRUE(vb.probeAndExtract(0x200, dirty));
+    EXPECT_FALSE(dirty);
+}
+
+TEST(VictimBuffer, DisplacesOldestWhenFull)
+{
+    VictimBuffer vb(2, 32);
+    vb.insert(0x100, false);
+    vb.insert(0x200, false);
+    vb.insert(0x300, false); // Displaces 0x100.
+    bool dirty = false;
+    EXPECT_FALSE(vb.probeAndExtract(0x100, dirty));
+    EXPECT_TRUE(vb.probeAndExtract(0x200, dirty));
+    EXPECT_TRUE(vb.probeAndExtract(0x300, dirty));
+}
+
+TEST(VictimBuffer, ReusesExtractedSlots)
+{
+    VictimBuffer vb(2, 32);
+    vb.insert(0x100, false);
+    vb.insert(0x200, false);
+    bool dirty = false;
+    vb.probeAndExtract(0x100, dirty); // Frees a slot.
+    vb.insert(0x300, false);          // Should not displace 0x200.
+    EXPECT_TRUE(vb.probeAndExtract(0x200, dirty));
+}
+
+TEST(VictimBuffer, HitRateAccounting)
+{
+    VictimBuffer vb(4, 32);
+    vb.insert(0x100, false);
+    bool dirty;
+    vb.probeAndExtract(0x100, dirty); // Hit.
+    vb.probeAndExtract(0x900, dirty); // Miss.
+    EXPECT_DOUBLE_EQ(vb.hitRatePercent(), 50.0);
+}
+
+TEST(VictimBuffer, ResetClears)
+{
+    VictimBuffer vb(4, 32);
+    vb.insert(0x100, true);
+    vb.reset();
+    bool dirty;
+    EXPECT_FALSE(vb.probeAndExtract(0x100, dirty));
+    EXPECT_EQ(vb.probes(), 1u);
+}

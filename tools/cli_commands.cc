@@ -1,0 +1,195 @@
+#include "cli_commands.hh"
+
+#include <memory>
+
+#include "sim/memory_system.hh"
+#include "trace/file_trace.hh"
+#include "trace/time_sampler.hh"
+#include "trace/trace_stats.hh"
+#include "util/table.hh"
+
+namespace sbsim {
+namespace cli {
+
+namespace {
+
+/** Print @p table as text or CSV per the options. */
+void
+printTable(const TablePrinter &table, const Options &o,
+           std::ostream &out)
+{
+    if (o.csv)
+        table.printCsv(out);
+    else
+        table.print(out);
+}
+
+/** Owns whatever chain of sources the options describe. */
+struct InputChain
+{
+    std::unique_ptr<ComposedWorkload> workload;
+    std::unique_ptr<TraceReader> reader;
+    std::unique_ptr<TimeSampler> sampler;
+    std::unique_ptr<TruncatingSource> limited;
+
+    TraceSource &source() { return *limited; }
+};
+
+InputChain
+makeInput(const Options &o)
+{
+    InputChain chain;
+    TraceSource *base = nullptr;
+    if (!o.benchmark.empty()) {
+        chain.workload =
+            findBenchmark(o.benchmark).makeWorkload(o.scale);
+        base = chain.workload.get();
+    } else {
+        chain.reader = std::make_unique<TraceReader>(o.traceFile);
+        base = chain.reader.get();
+    }
+    if (o.timeSample) {
+        chain.sampler = std::make_unique<TimeSampler>(*base, 10000,
+                                                      90000);
+        base = chain.sampler.get();
+    }
+    chain.limited = std::make_unique<TruncatingSource>(*base, o.refs);
+    return chain;
+}
+
+int
+listCommand(std::ostream &out)
+{
+    TablePrinter table(
+        {"name", "suite", "description", "input", "dataset"});
+    for (const Benchmark &b : allBenchmarks()) {
+        table.addRow({b.name, b.suite, b.description,
+                      b.inputDescription(ScaleLevel::DEFAULT),
+                      fmtBytes(b.dataSetBytes(ScaleLevel::DEFAULT))});
+    }
+    table.print(out);
+    return 0;
+}
+
+int
+runCommandImpl(const Options &o, std::ostream &out)
+{
+    InputChain input = makeInput(o);
+    MemorySystem system(toSystemConfig(o));
+    std::uint64_t refs = system.run(input.source());
+    SystemResults r = system.finish();
+
+    TablePrinter table({"metric", "value"});
+    table.addRow({"references", fmt(refs)});
+    table.addRow({"l1_miss_rate_%", fmt(r.l1MissRatePercent, 3)});
+    table.addRow({"l1_misses", fmt(r.l1Misses)});
+    if (!o.noStreams) {
+        table.addRow(
+            {"stream_hit_rate_%", fmt(r.streamHitRatePercent, 1)});
+        table.addRow(
+            {"extra_bandwidth_%", fmt(r.extraBandwidthPercent, 1)});
+        table.addRow({"stream_hits_pending", fmt(r.streamHitsPending)});
+    }
+    if (o.victimEntries > 0)
+        table.addRow({"victim_hits", fmt(r.victimHits)});
+    if (o.l2KiloBytes > 0)
+        table.addRow(
+            {"l2_local_hit_%", fmt(r.l2LocalHitRatePercent, 1)});
+    table.addRow({"writebacks", fmt(r.writebacks)});
+    table.addRow({"avg_access_cycles", fmt(r.avgAccessCycles, 2)});
+    printTable(table, o, out);
+
+    if (o.fullStats) {
+        out << '\n';
+        system.l1().icache().stats().print(out);
+        system.l1().dcache().stats().print(out);
+        if (const PrefetchEngine *engine = system.engine()) {
+            engine->stats().print(out);
+            const BucketedDistribution &dist =
+                engine->lengthDistribution();
+            for (std::size_t i = 0; i < dist.size(); ++i) {
+                out << "streams.length_" << dist.bucketLabel(i) << "  "
+                    << fmt(dist.sharePercent(i), 1) << " %\n";
+            }
+        }
+        system.memory().stats().print(out);
+    }
+    return 0;
+}
+
+int
+captureCommand(const Options &o, std::ostream &out)
+{
+    InputChain input = makeInput(o);
+    TraceWriter writer(o.outFile);
+    std::uint64_t n = writer.appendAll(input.source());
+    writer.close();
+    out << "wrote " << n << " references to " << o.outFile << "\n";
+    return 0;
+}
+
+int
+sweepCommand(const Options &o, std::ostream &out)
+{
+    TablePrinter table({"streams", "hit_rate_%", "EB_%"});
+    for (std::uint32_t n : o.sweepValues) {
+        Options point = o;
+        point.streams = n;
+        InputChain input = makeInput(point);
+        MemorySystem system(toSystemConfig(point));
+        system.run(input.source());
+        SystemResults r = system.finish();
+        table.addRow({std::to_string(n),
+                      fmt(r.streamHitRatePercent, 1),
+                      fmt(r.extraBandwidthPercent, 1)});
+    }
+    printTable(table, o, out);
+    return 0;
+}
+
+int
+analyzeCommand(const Options &o, std::ostream &out)
+{
+    InputChain input = makeInput(o);
+    TraceStats stats(input.source(), 32, /*track_footprint=*/true);
+    MemAccess a;
+    while (stats.next(a)) {
+    }
+    TablePrinter table({"metric", "value"});
+    table.addRow({"references", fmt(stats.total())});
+    table.addRow({"ifetches", fmt(stats.ifetches())});
+    table.addRow({"loads", fmt(stats.loads())});
+    table.addRow({"stores", fmt(stats.stores())});
+    table.addRow({"sw_prefetches", fmt(stats.prefetches())});
+    table.addRow({"data_refs", fmt(stats.dataReferences())});
+    table.addRow({"unique_data_blocks", fmt(stats.uniqueDataBlocks())});
+    table.addRow({"data_footprint", fmtBytes(stats.footprintBytes())});
+    printTable(table, o, out);
+    return 0;
+}
+
+} // namespace
+
+int
+runCommand(const Options &options, std::ostream &out)
+{
+    switch (options.command) {
+      case Command::LIST:
+        return listCommand(out);
+      case Command::RUN:
+        return runCommandImpl(options, out);
+      case Command::CAPTURE:
+        return captureCommand(options, out);
+      case Command::SWEEP:
+        return sweepCommand(options, out);
+      case Command::ANALYZE:
+        return analyzeCommand(options, out);
+      case Command::HELP:
+        out << usage();
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace cli
+} // namespace sbsim

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Executable commands behind the streamsim CLI. Separated from main()
+ * so the behaviour is unit-testable against a string stream.
+ */
+
+#ifndef STREAMSIM_TOOLS_CLI_COMMANDS_HH
+#define STREAMSIM_TOOLS_CLI_COMMANDS_HH
+
+#include <ostream>
+
+#include "cli_options.hh"
+
+namespace sbsim {
+namespace cli {
+
+/** Dispatch the parsed command. @return process exit code. */
+int runCommand(const Options &options, std::ostream &out);
+
+} // namespace cli
+} // namespace sbsim
+
+#endif // STREAMSIM_TOOLS_CLI_COMMANDS_HH

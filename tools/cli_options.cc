@@ -1,0 +1,331 @@
+#include "cli_options.hh"
+
+#include <sstream>
+
+namespace sbsim {
+namespace cli {
+
+namespace {
+
+bool
+parseU32(const std::string &s, std::uint32_t &out)
+{
+    try {
+        std::size_t pos = 0;
+        unsigned long v = std::stoul(s, &pos);
+        if (pos != s.size() || v > 0xffffffffUL)
+            return false;
+        out = static_cast<std::uint32_t>(v);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    try {
+        std::size_t pos = 0;
+        unsigned long long v = std::stoull(s, &pos);
+        if (pos != s.size())
+            return false;
+        out = v;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseScale(const std::string &s, ScaleLevel &out)
+{
+    if (s == "small") {
+        out = ScaleLevel::SMALL;
+    } else if (s == "default") {
+        out = ScaleLevel::DEFAULT;
+    } else if (s == "large") {
+        out = ScaleLevel::LARGE;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseList(const std::string &s, std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    std::stringstream in(s);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        std::uint32_t v = 0;
+        if (item.empty() || !parseU32(item, v) || v == 0)
+            return false;
+        out.push_back(v);
+    }
+    return !out.empty();
+}
+
+} // namespace
+
+ParseResult
+parseArgs(const std::vector<std::string> &args)
+{
+    ParseResult result;
+    Options &o = result.options;
+
+    if (args.empty()) {
+        result.error = "no command given";
+        return result;
+    }
+
+    const std::string &cmd = args[0];
+    if (cmd == "list") {
+        o.command = Command::LIST;
+    } else if (cmd == "run") {
+        o.command = Command::RUN;
+    } else if (cmd == "capture") {
+        o.command = Command::CAPTURE;
+    } else if (cmd == "sweep") {
+        o.command = Command::SWEEP;
+    } else if (cmd == "analyze") {
+        o.command = Command::ANALYZE;
+    } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        o.command = Command::HELP;
+        return result;
+    } else {
+        result.error = "unknown command: " + cmd;
+        return result;
+    }
+
+    auto need_value = [&](std::size_t i,
+                          const std::string &flag) -> bool {
+        if (i + 1 >= args.size()) {
+            result.error = flag + " requires a value";
+            return false;
+        }
+        return true;
+    };
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--benchmark" || a == "-b") {
+            if (!need_value(i, a))
+                return result;
+            o.benchmark = args[++i];
+        } else if (a == "--trace") {
+            if (!need_value(i, a))
+                return result;
+            o.traceFile = args[++i];
+        } else if (a == "--scale") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseScale(args[++i], o.scale)) {
+                result.error = "bad --scale (small|default|large)";
+                return result;
+            }
+        } else if (a == "--refs") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU64(args[++i], o.refs) || o.refs == 0) {
+                result.error = "bad --refs value";
+                return result;
+            }
+        } else if (a == "--sample") {
+            o.timeSample = true;
+        } else if (a == "--streams") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.streams) || o.streams == 0) {
+                result.error = "bad --streams value";
+                return result;
+            }
+        } else if (a == "--depth") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.depth) || o.depth == 0) {
+                result.error = "bad --depth value";
+                return result;
+            }
+        } else if (a == "--filter") {
+            o.unitFilter = true;
+        } else if (a == "--czone") {
+            if (!need_value(i, a))
+                return result;
+            std::uint32_t bits = 0;
+            if (!parseU32(args[++i], bits) || bits == 0 || bits >= 64) {
+                result.error = "bad --czone bits";
+                return result;
+            }
+            o.czoneBits = bits;
+        } else if (a == "--min-delta") {
+            o.minDelta = true;
+        } else if (a == "--partitioned") {
+            o.partitioned = true;
+        } else if (a == "--victim") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.victimEntries)) {
+                result.error = "bad --victim value";
+                return result;
+            }
+        } else if (a == "--no-streams") {
+            o.noStreams = true;
+        } else if (a == "--shuffled-pages") {
+            o.shuffledPages = true;
+        } else if (a == "--page-bits") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.pageBits) || o.pageBits < 6 ||
+                o.pageBits >= 32) {
+                result.error = "bad --page-bits value";
+                return result;
+            }
+        } else if (a == "--l2") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.l2KiloBytes) ||
+                o.l2KiloBytes == 0 || !isPowerOf2(o.l2KiloBytes)) {
+                result.error = "bad --l2 size (KB, power of two)";
+                return result;
+            }
+        } else if (a == "--bus") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.busCycles)) {
+                result.error = "bad --bus value";
+                return result;
+            }
+        } else if (a == "--out" || a == "-o") {
+            if (!need_value(i, a))
+                return result;
+            o.outFile = args[++i];
+        } else if (a == "--stats") {
+            o.fullStats = true;
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--values") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseList(args[++i], o.sweepValues)) {
+                result.error = "bad --values list";
+                return result;
+            }
+        } else {
+            result.error = "unknown option: " + a;
+            return result;
+        }
+    }
+
+    // Cross-option validation.
+    if (o.czoneBits && o.minDelta) {
+        result.error = "--czone and --min-delta are mutually exclusive";
+        return result;
+    }
+    if ((o.czoneBits || o.minDelta) && !o.unitFilter) {
+        result.error =
+            "stride detection requires --filter (the non-unit filter "
+            "sits behind the unit-stride filter)";
+        return result;
+    }
+    if (o.command == Command::RUN || o.command == Command::SWEEP ||
+        o.command == Command::CAPTURE || o.command == Command::ANALYZE) {
+        if (o.benchmark.empty() && o.traceFile.empty()) {
+            result.error = "need --benchmark or --trace";
+            return result;
+        }
+        if (!o.benchmark.empty() && !o.traceFile.empty()) {
+            result.error = "--benchmark and --trace are exclusive";
+            return result;
+        }
+        if (!o.benchmark.empty() && !hasBenchmark(o.benchmark)) {
+            result.error = "unknown benchmark: " + o.benchmark;
+            return result;
+        }
+    }
+    if (o.command == Command::CAPTURE && o.outFile.empty()) {
+        result.error = "capture needs --out FILE";
+        return result;
+    }
+    return result;
+}
+
+MemorySystemConfig
+toSystemConfig(const Options &o)
+{
+    AllocationPolicy policy = o.unitFilter
+                                  ? AllocationPolicy::UNIT_FILTER
+                                  : AllocationPolicy::ALWAYS;
+    StrideDetection stride = StrideDetection::NONE;
+    unsigned czone_bits = 18;
+    if (o.czoneBits) {
+        stride = StrideDetection::CZONE;
+        czone_bits = *o.czoneBits;
+    } else if (o.minDelta) {
+        stride = StrideDetection::MIN_DELTA;
+    }
+
+    MemorySystemConfig config =
+        paperSystemConfig(o.streams, policy, stride, czone_bits);
+    config.useStreams = !o.noStreams;
+    config.streams.depth = o.depth;
+    config.streams.partitioned = o.partitioned;
+    config.victimBufferEntries = o.victimEntries;
+    if (o.shuffledPages)
+        config.translation = TranslationMode::SHUFFLED;
+    config.pageBits = o.pageBits;
+    if (o.l2KiloBytes > 0) {
+        config.useL2 = true;
+        config.l2.sizeBytes = std::uint64_t{o.l2KiloBytes} * 1024;
+    }
+    config.busCyclesPerBlock = o.busCycles;
+    return config;
+}
+
+std::string
+usage()
+{
+    return R"(streamsim - stream buffer memory-system simulator (ISCA '94)
+
+usage: streamsim <command> [options]
+
+commands:
+  list                       list the fifteen benchmark models
+  run                        simulate a workload or trace
+  capture                    write a workload's trace to a file
+  sweep                      sweep the number of stream buffers
+  analyze                    reference mix and footprint of a trace
+  help                       show this text
+
+input:
+  --benchmark NAME (-b)      registry benchmark to model
+  --trace FILE               binary trace file to replay
+  --scale small|default|large  input size (Table 4 pairs)
+  --refs N                   reference budget (default 1500000)
+  --sample                   10% time sampling (10k on / 90k off)
+
+system:
+  --streams N                stream buffers (default 10)
+  --depth N                  entries per stream (default 2)
+  --filter                   unit-stride allocation filter
+  --czone BITS               czone stride detection (needs --filter)
+  --min-delta                min-delta stride detection (needs --filter)
+  --partitioned              separate I and D stream banks
+  --victim N                 N-entry victim buffer behind the L1
+  --no-streams               primary cache + memory only
+  --shuffled-pages           scattered physical page mapping
+  --page-bits N              log2 page size (default 12 = 4 KB)
+  --l2 KB                    add a unified secondary cache of KB kilobytes
+  --bus N                    bus occupancy per block in cycles (0 = infinite)
+
+output:
+  --out FILE (-o)            capture target file
+  --stats                    dump full component statistics
+  --csv                      emit tables as CSV
+  --values A,B,C             sweep values (default 1,2,4,6,8,10)
+)";
+}
+
+} // namespace cli
+} // namespace sbsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Command-line option parsing for the streamsim CLI. Kept separate
+ * from main() so the parser is unit-testable.
+ */
+
+#ifndef STREAMSIM_TOOLS_CLI_OPTIONS_HH
+#define STREAMSIM_TOOLS_CLI_OPTIONS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workloads/benchmark.hh"
+
+namespace sbsim {
+namespace cli {
+
+/** What the invocation asked for. */
+enum class Command : std::uint8_t
+{
+    LIST,    ///< List the benchmark registry.
+    RUN,     ///< Run one workload/trace through a configured system.
+    CAPTURE, ///< Write a workload's trace to a file.
+    SWEEP,   ///< Sweep the number of streams.
+    ANALYZE, ///< Reference-mix and footprint statistics of a trace.
+    HELP,
+};
+
+/** Parsed command line. */
+struct Options
+{
+    Command command = Command::HELP;
+
+    // Input selection.
+    std::string benchmark;  ///< Registry name, or
+    std::string traceFile;  ///< a binary trace to replay.
+    ScaleLevel scale = ScaleLevel::DEFAULT;
+    std::uint64_t refs = 1500000;
+    bool timeSample = false; ///< 10% time sampling (10k/90k).
+
+    // System configuration.
+    std::uint32_t streams = 10;
+    std::uint32_t depth = 2;
+    bool unitFilter = false;
+    std::optional<unsigned> czoneBits; ///< Enables czone detection.
+    bool minDelta = false;
+    bool partitioned = false;
+    std::uint32_t victimEntries = 0;
+    bool noStreams = false;
+    bool shuffledPages = false;
+    std::uint32_t pageBits = 12;
+    std::uint32_t l2KiloBytes = 0; ///< 0 = no secondary cache.
+    std::uint32_t busCycles = 0;   ///< Bus cycles/block (0 = infinite).
+
+    // Output.
+    std::string outFile;   ///< capture target.
+    bool fullStats = false;
+    bool csv = false;      ///< Machine-readable table output.
+
+    // Sweep values (number of streams).
+    std::vector<std::uint32_t> sweepValues = {1, 2, 4, 6, 8, 10};
+};
+
+/** Result of parsing: options or an error message. */
+struct ParseResult
+{
+    Options options;
+    std::string error; ///< Empty on success.
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse argv (excluding argv[0]). */
+ParseResult parseArgs(const std::vector<std::string> &args);
+
+/** Build the MemorySystemConfig an Options describes. */
+MemorySystemConfig toSystemConfig(const Options &options);
+
+/** The usage text. */
+std::string usage();
+
+} // namespace cli
+} // namespace sbsim
+
+#endif // STREAMSIM_TOOLS_CLI_OPTIONS_HH

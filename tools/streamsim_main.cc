@@ -1,0 +1,20 @@
+/** @file Entry point of the streamsim CLI. */
+
+#include <iostream>
+#include <vector>
+
+#include "cli_commands.hh"
+#include "cli_options.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sbsim::cli::ParseResult parsed = sbsim::cli::parseArgs(args);
+    if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.error << "\n\n"
+                  << sbsim::cli::usage();
+        return 2;
+    }
+    return sbsim::cli::runCommand(parsed.options, std::cout);
+}
