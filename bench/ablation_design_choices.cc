@@ -11,12 +11,17 @@
  *     performance, min-delta needs more hardware);
  *  5. the Section 8 timing caveat: how many "stream hits" would stall
  *     on in-flight prefetches under a flat 50-cycle memory.
+ *
+ * Every ablation builds a (benchmark x configuration) job grid and
+ * fans it out through the shared SweepRunner; results come back in
+ * submission order, so the tables read exactly as the old serial
+ * loops produced them.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
-#include "trace/time_sampler.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sbsim;
@@ -26,20 +31,52 @@ namespace {
 const std::vector<std::string> kSubjects = {"mgrid", "fftpde", "appbt",
                                             "trfd"};
 
+SweepRunner &
+runner()
+{
+    static SweepRunner r;
+    return r;
+}
+
+bench::ThroughputLog &
+throughput()
+{
+    static bench::ThroughputLog log;
+    return log;
+}
+
+/** Run one ablation's grid, feeding the binary-wide footer totals. */
+std::vector<SweepResult>
+runGrid(const std::vector<SweepJob> &jobs)
+{
+    std::vector<SweepResult> results = runner().run(jobs);
+    throughput().record(results);
+    return results;
+}
+
 void
 depthSweep()
 {
     std::cout << "Ablation 1: stream depth (10 streams, no filter)\n\n";
+    const std::vector<std::uint32_t> depths = {1, 2, 4, 8};
+    std::vector<SweepJob> jobs;
+    for (const auto &name : kSubjects) {
+        for (std::uint32_t depth : depths) {
+            MemorySystemConfig config = paperSystemConfig(10);
+            config.streams.depth = depth;
+            jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
     TablePrinter table(
         {"name", "d1_hit", "d1_EB", "d2_hit", "d2_EB", "d4_hit",
          "d4_EB", "d8_hit", "d8_EB"});
-    for (const auto &name : kSubjects) {
-        std::vector<std::string> row = {name};
-        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
-            MemorySystemConfig config = paperSystemConfig(10);
-            config.streams.depth = depth;
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        std::vector<std::string> row = {kSubjects[ni]};
+        for (std::size_t di = 0; di < depths.size(); ++di) {
+            const RunOutput &out =
+                results[ni * depths.size() + di].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
             row.push_back(
                 fmt(out.engineStats.extraBandwidthPercent(), 1));
@@ -54,18 +91,27 @@ void
 filterSizeSweep()
 {
     std::cout << "Ablation 2: unit-stride filter size (10 streams)\n\n";
+    const std::vector<std::uint32_t> sizes = {2, 4, 8, 16, 32};
     std::vector<std::string> headers = {"name"};
-    for (std::uint32_t entries : {2u, 4u, 8u, 16u, 32u})
+    for (std::uint32_t entries : sizes)
         headers.push_back("f" + std::to_string(entries));
-    TablePrinter table(headers);
+
+    std::vector<SweepJob> jobs;
     for (const auto &name : kSubjects) {
-        std::vector<std::string> row = {name};
-        for (std::uint32_t entries : {2u, 4u, 8u, 16u, 32u}) {
+        for (std::uint32_t entries : sizes) {
             MemorySystemConfig config =
                 paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
             config.streams.unitFilterEntries = entries;
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table(headers);
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        std::vector<std::string> row = {kSubjects[ni]};
+        for (std::size_t si = 0; si < sizes.size(); ++si) {
+            const RunOutput &out = results[ni * sizes.size() + si].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
         }
         table.addRow(row);
@@ -79,15 +125,22 @@ partitionedStreams()
 {
     std::cout << "Ablation 3: unified vs partitioned I/D streams "
                  "(10 streams)\n\n";
-    TablePrinter table({"name", "unified_hit", "partitioned_hit"});
+    std::vector<SweepJob> jobs;
     for (const auto &name : kSubjects) {
         MemorySystemConfig unified = paperSystemConfig(10);
         MemorySystemConfig split = paperSystemConfig(10);
         split.streams.partitioned = true;
-        RunOutput u =
-            bench::runBenchmark(name, ScaleLevel::DEFAULT, unified);
-        RunOutput p = bench::runBenchmark(name, ScaleLevel::DEFAULT, split);
-        table.addRow({name, fmt(u.engineStats.hitRatePercent(), 1),
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, unified));
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, split));
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table({"name", "unified_hit", "partitioned_hit"});
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        const RunOutput &u = results[ni * 2 + 0].output;
+        const RunOutput &p = results[ni * 2 + 1].output;
+        table.addRow({kSubjects[ni],
+                      fmt(u.engineStats.hitRatePercent(), 1),
                       fmt(p.engineStats.hitRatePercent(), 1)});
     }
     table.print(std::cout);
@@ -99,23 +152,33 @@ void
 czoneVsMinDelta()
 {
     std::cout << "Ablation 4: czone vs minimum-delta stride detection\n\n";
-    TablePrinter table({"name", "unit_only", "czone", "min_delta"});
-    for (const char *name : {"appsp", "fftpde", "trfd"}) {
-        MemorySystemConfig unit =
-            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER);
-        MemorySystemConfig czone = paperSystemConfig(
-            10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
-        MemorySystemConfig delta =
+    const std::vector<const char *> names = {"appsp", "fftpde", "trfd"};
+    std::vector<SweepJob> jobs;
+    for (const char *name : names) {
+        jobs.push_back(bench::job(
+            name, ScaleLevel::DEFAULT,
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER)));
+        jobs.push_back(bench::job(
+            name, ScaleLevel::DEFAULT,
             paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
-                              StrideDetection::MIN_DELTA);
+                              StrideDetection::CZONE, 18)));
+        jobs.push_back(bench::job(
+            name, ScaleLevel::DEFAULT,
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                              StrideDetection::MIN_DELTA)));
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table({"name", "unit_only", "czone", "min_delta"});
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
         table.addRow(
-            {name,
-             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, unit)
-                     .engineStats.hitRatePercent(), 1),
-             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, czone)
-                     .engineStats.hitRatePercent(), 1),
-             fmt(bench::runBenchmark(name, ScaleLevel::DEFAULT, delta)
-                     .engineStats.hitRatePercent(), 1)});
+            {names[ni],
+             fmt(results[ni * 3 + 0]
+                     .output.engineStats.hitRatePercent(), 1),
+             fmt(results[ni * 3 + 1]
+                     .output.engineStats.hitRatePercent(), 1),
+             fmt(results[ni * 3 + 2]
+                     .output.engineStats.hitRatePercent(), 1)});
     }
     table.print(std::cout);
     std::cout << "\n(Paper: the two schemes performed similarly.)\n\n";
@@ -126,16 +189,25 @@ streamReplacementPolicy()
 {
     std::cout << "Ablation 6: stream reallocation policy "
                  "(10 streams, no filter)\n\n";
-    TablePrinter table({"name", "lru_hit", "fifo_hit", "random_hit"});
+    const std::vector<StreamReplacement> policies = {
+        StreamReplacement::LRU, StreamReplacement::FIFO,
+        StreamReplacement::RANDOM};
+    std::vector<SweepJob> jobs;
     for (const auto &name : kSubjects) {
-        std::vector<std::string> row = {name};
-        for (StreamReplacement repl :
-             {StreamReplacement::LRU, StreamReplacement::FIFO,
-              StreamReplacement::RANDOM}) {
+        for (StreamReplacement repl : policies) {
             MemorySystemConfig config = paperSystemConfig(10);
             config.streams.replacement = repl;
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table({"name", "lru_hit", "fifo_hit", "random_hit"});
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        std::vector<std::string> row = {kSubjects[ni]};
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            const RunOutput &out =
+                results[ni * policies.size() + pi].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
         }
         table.addRow(row);
@@ -150,8 +222,7 @@ victimBufferWithDirectMappedL1()
 {
     std::cout << "Ablation 7: direct-mapped L1 with and without a "
                  "victim buffer (Section 4.1)\n\n";
-    TablePrinter table({"name", "4way_hit", "dm_hit", "dm+vb_hit",
-                        "vb_local_hit_%"});
+    std::vector<SweepJob> jobs;
     for (const auto &name : kSubjects) {
         MemorySystemConfig four_way = paperSystemConfig(10);
         MemorySystemConfig dm = four_way;
@@ -159,27 +230,23 @@ victimBufferWithDirectMappedL1()
         dm.l1.dcache.assoc = 1;
         MemorySystemConfig dm_vb = dm;
         dm_vb.victimBufferEntries = 8;
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, four_way));
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, dm));
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, dm_vb));
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
 
-        RunOutput a = bench::runBenchmark(name, ScaleLevel::DEFAULT,
-                                          four_way);
-        RunOutput b = bench::runBenchmark(name, ScaleLevel::DEFAULT, dm);
-        // The victim-buffer run needs the system object for VB stats.
-        const Benchmark &bm = findBenchmark(name);
-        auto workload = bm.makeWorkload(ScaleLevel::DEFAULT);
-        TruncatingSource limited(*workload, bench::refLimit());
-        MemorySystem sys(dm_vb);
-        sys.run(limited);
-        SystemResults r = sys.finish();
-        double vb_hit =
-            sys.victimBuffer() ? sys.victimBuffer()->hitRatePercent()
-                               : 0.0;
-        double dm_vb_stream_hit =
-            sys.engine()->engineStats().hitRatePercent();
-
-        table.addRow({name, fmt(a.engineStats.hitRatePercent(), 1),
+    TablePrinter table({"name", "4way_hit", "dm_hit", "dm+vb_hit",
+                        "vb_local_hit_%"});
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        const RunOutput &a = results[ni * 3 + 0].output;
+        const RunOutput &b = results[ni * 3 + 1].output;
+        const RunOutput &c = results[ni * 3 + 2].output;
+        table.addRow({kSubjects[ni],
+                      fmt(a.engineStats.hitRatePercent(), 1),
                       fmt(b.engineStats.hitRatePercent(), 1),
-                      fmt(dm_vb_stream_hit, 1), fmt(vb_hit, 1)});
-        (void)r;
+                      fmt(c.engineStats.hitRatePercent(), 1),
+                      fmt(c.victimHitRatePercent, 1)});
     }
     table.print(std::cout);
     std::cout << "\n(With a direct-mapped L1, conflict misses look "
@@ -194,18 +261,30 @@ depthVersusLatency()
                  "(Section 3: depth must cover the latency)\n"
               << "(mgrid, 10 streams; cells are avg access cycles / "
                  "pending-hit %)\n\n";
+    const std::vector<unsigned> latencies = {20, 50, 200};
+    const std::vector<std::uint32_t> depths = {1, 2, 4, 8};
     std::vector<std::string> headers = {"latency"};
-    for (std::uint32_t depth : {1u, 2u, 4u, 8u})
+    for (std::uint32_t depth : depths)
         headers.push_back("d" + std::to_string(depth));
-    TablePrinter table(headers);
-    for (unsigned latency : {20u, 50u, 200u}) {
-        std::vector<std::string> row = {std::to_string(latency)};
-        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+
+    std::vector<SweepJob> jobs;
+    for (unsigned latency : latencies) {
+        for (std::uint32_t depth : depths) {
             MemorySystemConfig config = paperSystemConfig(10);
             config.streams.depth = depth;
             config.memLatencyCycles = latency;
-            RunOutput out = bench::runBenchmark(
-                "mgrid", ScaleLevel::DEFAULT, config);
+            jobs.push_back(
+                bench::job("mgrid", ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table(headers);
+    for (std::size_t li = 0; li < latencies.size(); ++li) {
+        std::vector<std::string> row = {std::to_string(latencies[li])};
+        for (std::size_t di = 0; di < depths.size(); ++di) {
+            const RunOutput &out =
+                results[li * depths.size() + di].output;
             double pending = percent(
                 out.results.streamHitsPending,
                 out.results.streamHitsPending +
@@ -226,15 +305,19 @@ timingCaveat()
 {
     std::cout << "Ablation 5: Section 8 caveat — stream hits whose "
                  "prefetch is still in flight (50-cycle memory)\n\n";
+    std::vector<SweepJob> jobs;
+    for (const auto &name : kSubjects)
+        jobs.push_back(
+            bench::job(name, ScaleLevel::DEFAULT, paperSystemConfig(10)));
+    std::vector<SweepResult> results = runGrid(jobs);
+
     TablePrinter table({"name", "hits_ready", "hits_pending",
                         "pending_%", "avg_access_cycles"});
-    for (const auto &name : kSubjects) {
-        MemorySystemConfig config = paperSystemConfig(10);
-        RunOutput out =
-            bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        const RunOutput &out = results[ni].output;
         std::uint64_t ready = out.results.streamHitsReady;
         std::uint64_t pending = out.results.streamHitsPending;
-        table.addRow({name, fmt(ready), fmt(pending),
+        table.addRow({kSubjects[ni], fmt(ready), fmt(pending),
                       fmt(percent(pending, ready + pending), 1),
                       fmt(out.results.avgAccessCycles, 2)});
     }
@@ -247,22 +330,31 @@ pageTranslation()
 {
     std::cout << "Ablation 9: virtual-to-physical page mapping "
                  "(czone detection runs on physical addresses)\n\n";
-    TablePrinter table({"name", "identity", "shuffled_4K",
-                        "shuffled_64K", "shuffled_1M"});
-    for (const char *name : {"appsp", "fftpde", "trfd", "mgrid"}) {
-        std::vector<std::string> row = {name};
+    const std::vector<const char *> names = {"appsp", "fftpde", "trfd",
+                                             "mgrid"};
+    const std::vector<unsigned> page_bits = {12, 16, 20};
+    std::vector<SweepJob> jobs;
+    for (const char *name : names) {
         MemorySystemConfig base = paperSystemConfig(
             10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE,
             18);
-        RunOutput ident =
-            bench::runBenchmark(name, ScaleLevel::DEFAULT, base);
-        row.push_back(fmt(ident.engineStats.hitRatePercent(), 1));
-        for (unsigned page_bits : {12u, 16u, 20u}) {
+        jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, base));
+        for (unsigned bits : page_bits) {
             MemorySystemConfig config = base;
             config.translation = TranslationMode::SHUFFLED;
-            config.pageBits = page_bits;
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            config.pageBits = bits;
+            jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table({"name", "identity", "shuffled_4K",
+                        "shuffled_64K", "shuffled_1M"});
+    std::size_t per_name = 1 + page_bits.size();
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        std::vector<std::string> row = {names[ni]};
+        for (std::size_t ci = 0; ci < per_name; ++ci) {
+            const RunOutput &out = results[ni * per_name + ci].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
         }
         table.addRow(row);
@@ -281,16 +373,23 @@ associativeLookup()
     std::cout << "Ablation 10: head-only vs quasi-sequential "
                  "(associative) stream lookup\n(10 streams, depth 4, "
                  "no filter; Jouppi's original design axis)\n\n";
-    TablePrinter table({"name", "head_hit", "head_EB", "assoc_hit",
-                        "assoc_EB"});
+    std::vector<SweepJob> jobs;
     for (const auto &name : kSubjects) {
-        std::vector<std::string> row = {name};
         for (bool assoc : {false, true}) {
             MemorySystemConfig config = paperSystemConfig(10);
             config.streams.depth = 4;
             config.streams.associativeLookup = assoc;
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            jobs.push_back(bench::job(name, ScaleLevel::DEFAULT, config));
+        }
+    }
+    std::vector<SweepResult> results = runGrid(jobs);
+
+    TablePrinter table({"name", "head_hit", "head_EB", "assoc_hit",
+                        "assoc_EB"});
+    for (std::size_t ni = 0; ni < kSubjects.size(); ++ni) {
+        std::vector<std::string> row = {kSubjects[ni]};
+        for (std::size_t ai = 0; ai < 2; ++ai) {
+            const RunOutput &out = results[ni * 2 + ai].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
             row.push_back(
                 fmt(out.engineStats.extraBandwidthPercent(), 1));
@@ -308,15 +407,20 @@ associativeLookup()
 int
 main()
 {
-    depthSweep();
-    filterSizeSweep();
-    partitionedStreams();
-    czoneVsMinDelta();
-    timingCaveat();
-    streamReplacementPolicy();
-    victimBufferWithDirectMappedL1();
-    depthVersusLatency();
-    pageTranslation();
-    associativeLookup();
+    double wall = 0;
+    {
+        ScopedTimer timer(wall);
+        depthSweep();
+        filterSizeSweep();
+        partitionedStreams();
+        czoneVsMinDelta();
+        timingCaveat();
+        streamReplacementPolicy();
+        victimBufferWithDirectMappedL1();
+        depthVersusLatency();
+        pageTranslation();
+        associativeLookup();
+    }
+    throughput().print(std::cout, wall, runner().jobs());
     return 0;
 }

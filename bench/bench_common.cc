@@ -4,6 +4,7 @@
 #include <map>
 
 #include "trace/time_sampler.hh"
+#include "util/table.hh"
 
 namespace sbsim {
 namespace bench {
@@ -39,6 +40,33 @@ runBenchmark(const std::string &benchmark_name, ScaleLevel level,
     }
     TruncatingSource limited(*workload, refLimit());
     return runOnce(limited, config);
+}
+
+SweepJob
+job(const std::string &benchmark_name, ScaleLevel level,
+    const MemorySystemConfig &config, std::string label)
+{
+    return benchmarkJob(benchmark_name, level, config, std::move(label),
+                        refLimit(), useTimeSampling());
+}
+
+void
+ThroughputLog::record(const std::vector<SweepResult> &results)
+{
+    runs_ += results.size();
+    for (const SweepResult &r : results)
+        refs_ += r.references;
+}
+
+void
+ThroughputLog::print(std::ostream &out, double wall_seconds,
+                     unsigned workers) const
+{
+    double aggregate =
+        wall_seconds > 0 ? static_cast<double>(refs_) / wall_seconds : 0;
+    out << "\nbench: " << runs_ << " runs, " << refs_ << " refs in "
+        << fmt(wall_seconds, 2) << " s (" << fmt(aggregate, 0)
+        << " refs/s aggregate, " << workers << " workers)\n";
 }
 
 std::optional<PaperReference>

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 #include "workloads/benchmark.hh"
 
 namespace sbsim {
@@ -33,6 +36,33 @@ bool useTimeSampling();
  */
 RunOutput runBenchmark(const std::string &benchmark_name, ScaleLevel level,
                        const MemorySystemConfig &config);
+
+/**
+ * SweepJob for @p benchmark_name at @p level through @p config,
+ * honouring the reference budget and optional time sampling — the
+ * parallel-sweep counterpart of runBenchmark().
+ */
+SweepJob job(const std::string &benchmark_name, ScaleLevel level,
+             const MemorySystemConfig &config, std::string label = "");
+
+/**
+ * Accumulates run counts and reference totals across one or more
+ * sweep grids, and prints the bench-hygiene footer (total wall-clock
+ * and aggregate refs/s) that BENCH_*.json trajectories track.
+ */
+class ThroughputLog
+{
+  public:
+    void record(const std::vector<SweepResult> &results);
+
+    /** Print "N runs, R refs in W s (T refs/s aggregate, J workers)". */
+    void print(std::ostream &out, double wall_seconds,
+               unsigned workers) const;
+
+  private:
+    std::uint64_t runs_ = 0;
+    std::uint64_t refs_ = 0;
+};
 
 /** Paper reference values (approximate where read from a figure). */
 struct PaperReference

@@ -6,11 +6,16 @@
  * observations to check: most benchmarks land in the 50-80% band, hit
  * rate saturates around 7-8 streams, fftpde/appsp stay low (non-unit
  * strides) and adm/dyfesm stay low (array indirection).
+ *
+ * The 15 x 10 grid runs through the parallel SweepRunner; results are
+ * returned in submission order, so rows read exactly as the old
+ * serial loop produced them.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sbsim;
@@ -28,13 +33,32 @@ main()
         headers.push_back("s" + std::to_string(n));
     headers.push_back("paper_s10");
 
-    TablePrinter table(headers);
-    for (const Benchmark &b : allBenchmarks()) {
-        std::vector<std::string> row = {b.name};
+    const std::vector<Benchmark> &benchmarks = allBenchmarks();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(benchmarks.size() * stream_counts.size());
+    for (const Benchmark &b : benchmarks) {
         for (auto n : stream_counts) {
-            MemorySystemConfig config = paperSystemConfig(n);
-            RunOutput out =
-                bench::runBenchmark(b.name, ScaleLevel::DEFAULT, config);
+            jobs.push_back(bench::job(b.name, ScaleLevel::DEFAULT,
+                                      paperSystemConfig(n),
+                                      b.name + ":s" + std::to_string(n)));
+        }
+    }
+
+    SweepRunner runner;
+    double wall = 0;
+    std::vector<SweepResult> results;
+    {
+        ScopedTimer timer(wall);
+        results = runner.run(jobs);
+    }
+
+    TablePrinter table(headers);
+    for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
+        const Benchmark &b = benchmarks[bi];
+        std::vector<std::string> row = {b.name};
+        for (std::size_t si = 0; si < stream_counts.size(); ++si) {
+            const RunOutput &out =
+                results[bi * stream_counts.size() + si].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
         }
         auto ref = bench::paperReference(b.name);
@@ -42,5 +66,9 @@ main()
         table.addRow(row);
     }
     table.print(std::cout);
+
+    bench::ThroughputLog log;
+    log.record(results);
+    log.print(std::cout, wall, runner.jobs());
     return 0;
 }

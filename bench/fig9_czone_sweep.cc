@@ -7,11 +7,14 @@
  * references do not share a partition; above, concurrent streams
  * collide in one partition), while appsp and trfd keep working up to
  * large czones.
+ *
+ * The 3 x 9 grid runs through the parallel SweepRunner.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sbsim;
@@ -23,21 +26,41 @@ main()
               << "(10 streams, 16-entry unit filter + 16-entry czone "
                  "filter)\n\n";
 
+    const std::vector<const char *> names = {"appsp", "fftpde", "trfd"};
     const std::vector<unsigned> czone_bits = {10, 12, 14, 16, 18,
                                               20, 22, 24, 26};
     std::vector<std::string> headers = {"name"};
     for (unsigned bits : czone_bits)
         headers.push_back("cz" + std::to_string(bits));
-    TablePrinter table(headers);
 
-    for (const char *name : {"appsp", "fftpde", "trfd"}) {
-        std::vector<std::string> row = {name};
+    std::vector<SweepJob> jobs;
+    jobs.reserve(names.size() * czone_bits.size());
+    for (const char *name : names) {
         for (unsigned bits : czone_bits) {
             MemorySystemConfig config =
                 paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
                                   StrideDetection::CZONE, bits);
-            RunOutput out =
-                bench::runBenchmark(name, ScaleLevel::DEFAULT, config);
+            jobs.push_back(
+                bench::job(name, ScaleLevel::DEFAULT, config,
+                           std::string(name) + ":cz" +
+                               std::to_string(bits)));
+        }
+    }
+
+    SweepRunner runner;
+    double wall = 0;
+    std::vector<SweepResult> results;
+    {
+        ScopedTimer timer(wall);
+        results = runner.run(jobs);
+    }
+
+    TablePrinter table(headers);
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        std::vector<std::string> row = {names[ni]};
+        for (std::size_t ci = 0; ci < czone_bits.size(); ++ci) {
+            const RunOutput &out =
+                results[ni * czone_bits.size() + ci].output;
             row.push_back(fmt(out.engineStats.hitRatePercent(), 1));
         }
         table.addRow(row);
@@ -46,5 +69,9 @@ main()
 
     std::cout << "\nPaper shape: fftpde effective only for ~16-23 bit "
                  "czones; appsp and trfd also work with large czones.\n";
+
+    bench::ThroughputLog log;
+    log.record(results);
+    log.print(std::cout, wall, runner.jobs());
     return 0;
 }

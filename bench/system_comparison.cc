@@ -15,11 +15,14 @@
  * moderately provisioned bus. The paper's claim to check: for the
  * majority of these scientific codes the streams-only system is
  * competitive with the expensive secondary cache.
+ *
+ * The 15 x 3 grid runs through the parallel SweepRunner.
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sbsim;
@@ -49,17 +52,37 @@ main()
            "vs hybrid\n(streams: 10 + 16/16 filters, czone 18; bus: 4 "
            "cycles/block; memory: 50 cycles)\n\n";
 
+    // Three jobs per benchmark: conventional, streams-only, hybrid.
+    const std::vector<Benchmark> &benchmarks = allBenchmarks();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(benchmarks.size() * 3);
+    for (const Benchmark &b : benchmarks) {
+        jobs.push_back(bench::job(b.name, ScaleLevel::DEFAULT,
+                                  styled(true, false), b.name + ":l2"));
+        jobs.push_back(bench::job(b.name, ScaleLevel::DEFAULT,
+                                  styled(false, true),
+                                  b.name + ":streams"));
+        jobs.push_back(bench::job(b.name, ScaleLevel::DEFAULT,
+                                  styled(true, true),
+                                  b.name + ":hybrid"));
+    }
+
+    SweepRunner runner;
+    double wall = 0;
+    std::vector<SweepResult> results;
+    {
+        ScopedTimer timer(wall);
+        results = runner.run(jobs);
+    }
+
     TablePrinter table({"name", "L2_hit_%", "L2_cycles", "stream_hit_%",
                         "stream_cycles", "hybrid_cycles"});
 
     double streams_better_or_close = 0;
-    for (const Benchmark &b : allBenchmarks()) {
-        RunOutput conventional = bench::runBenchmark(
-            b.name, ScaleLevel::DEFAULT, styled(true, false));
-        RunOutput streams = bench::runBenchmark(
-            b.name, ScaleLevel::DEFAULT, styled(false, true));
-        RunOutput hybrid = bench::runBenchmark(
-            b.name, ScaleLevel::DEFAULT, styled(true, true));
+    for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
+        const RunOutput &conventional = results[bi * 3 + 0].output;
+        const RunOutput &streams = results[bi * 3 + 1].output;
+        const RunOutput &hybrid = results[bi * 3 + 2].output;
 
         double l2_cycles = conventional.results.avgAccessCycles;
         double stream_cycles = streams.results.avgAccessCycles;
@@ -67,7 +90,7 @@ main()
             ++streams_better_or_close;
 
         table.addRow(
-            {b.name,
+            {benchmarks[bi].name,
              fmt(conventional.results.l2LocalHitRatePercent, 1),
              fmt(l2_cycles, 2),
              fmt(streams.engineStats.hitRatePercent(), 1),
@@ -81,5 +104,9 @@ main()
                  "1 MB secondary cache\nusing only ~10 cache blocks of "
                  "SRAM plus comparators — the paper's\ncost-"
                  "effectiveness argument.\n";
+
+    bench::ThroughputLog log;
+    log.record(results);
+    log.print(std::cout, wall, runner.jobs());
     return 0;
 }

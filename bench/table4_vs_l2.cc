@@ -10,6 +10,10 @@
  * *improves* with input size while the matching L2 size grows with
  * the data set — except cgm, whose irregular large input favours the
  * cache.
+ *
+ * Both halves of the study are parallel: the ten stream runs go
+ * through the SweepRunner, and the ten set-sampled L2 studies fan out
+ * over the same worker budget via parallelFor.
  */
 
 #include <iostream>
@@ -17,19 +21,18 @@
 #include "bench_common.hh"
 #include "sim/l2_study.hh"
 #include "trace/time_sampler.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sbsim;
 
 namespace {
 
-double
-streamHitRate(const std::string &name, ScaleLevel level)
+MemorySystemConfig
+fullStreamConfig()
 {
-    MemorySystemConfig config = paperSystemConfig(
-        10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18);
-    return bench::runBenchmark(name, level, config)
-        .engineStats.hitRatePercent();
+    return paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                             StrideDetection::CZONE, 18);
 }
 
 std::vector<L2Result>
@@ -76,19 +79,48 @@ main()
                  "filter; L2: 64KB-4MB, assoc 1-4, block 64/128B, "
                  "set-sampled 1/8)\n\n";
 
+    const std::vector<const char *> names = {"appsp", "appbt", "applu",
+                                             "cgm", "mgrid"};
+    const std::vector<ScaleLevel> levels = {ScaleLevel::SMALL,
+                                            ScaleLevel::LARGE};
+
+    // (name, level) pairs in row order.
+    std::vector<SweepJob> stream_jobs;
+    for (const char *name : names) {
+        for (ScaleLevel level : levels) {
+            stream_jobs.push_back(
+                bench::job(name, level, fullStreamConfig()));
+        }
+    }
+
+    SweepRunner runner;
+    double wall = 0;
+    std::vector<SweepResult> stream_results;
+    std::vector<std::vector<L2Result>> l2_results(stream_jobs.size());
+    {
+        ScopedTimer timer(wall);
+        stream_results = runner.run(stream_jobs);
+        parallelFor(stream_jobs.size(), runner.jobs(),
+                    [&](std::size_t i) {
+                        l2_results[i] = l2HitRates(
+                            names[i / levels.size()],
+                            levels[i % levels.size()]);
+                    });
+    }
+
     TablePrinter table({"name", "input", "stream_hit_%", "min_L2",
                         "paper_hit_%", "paper_L2"});
 
-    for (const char *name :
-         {"appsp", "appbt", "applu", "cgm", "mgrid"}) {
-        PaperRow ref = paperRow(name);
-        for (ScaleLevel level : {ScaleLevel::SMALL, ScaleLevel::LARGE}) {
-            bool small = level == ScaleLevel::SMALL;
-            double hit = streamHitRate(name, level);
-            auto l2 = l2HitRates(name, level);
-            auto min_size = minSizeReaching(l2, hit);
+    for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        PaperRow ref = paperRow(names[ni]);
+        for (std::size_t li = 0; li < levels.size(); ++li) {
+            bool small = levels[li] == ScaleLevel::SMALL;
+            std::size_t idx = ni * levels.size() + li;
+            double hit = stream_results[idx]
+                             .output.engineStats.hitRatePercent();
+            auto min_size = minSizeReaching(l2_results[idx], hit);
             table.addRow(
-                {name, small ? ref.small_input : ref.large_input,
+                {names[ni], small ? ref.small_input : ref.large_input,
                  fmt(hit, 1),
                  min_size ? fmtBytes(*min_size) : std::string(">4 MB"),
                  fmt(double(small ? ref.small_hit : ref.large_hit), 0),
@@ -96,5 +128,9 @@ main()
         }
     }
     table.print(std::cout);
+
+    bench::ThroughputLog log;
+    log.record(stream_results);
+    log.print(std::cout, wall, runner.jobs());
     return 0;
 }

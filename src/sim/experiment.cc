@@ -35,6 +35,8 @@ runOnce(TraceSource &src, const MemorySystemConfig &config)
         for (std::size_t i = 0; i < dist.size(); ++i)
             out.lengthSharesPercent.push_back(dist.sharePercent(i));
     }
+    if (const VictimBuffer *vb = system.victimBuffer())
+        out.victimHitRatePercent = vb->hitRatePercent();
     return out;
 }
 

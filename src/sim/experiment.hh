@@ -23,6 +23,8 @@ struct RunOutput
     /** Stream-length distribution shares (%) for the five Table 3
      *  buckets: 1-5, 6-10, 11-15, 16-20, >20. Empty without streams. */
     std::vector<double> lengthSharesPercent;
+    /** Victim-buffer local hit rate (%); 0 without a victim buffer. */
+    double victimHitRatePercent = 0;
 };
 
 /**

@@ -1,0 +1,131 @@
+#include "sweep_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "trace/time_sampler.hh"
+#include "util/stats.hh"
+
+namespace sbsim {
+
+SweepJob
+benchmarkJob(const std::string &benchmark_name, ScaleLevel level,
+             const MemorySystemConfig &config, std::string label,
+             std::uint64_t ref_limit, bool time_sample)
+{
+    SweepJob job;
+    job.label = label.empty() ? benchmark_name : std::move(label);
+    job.config = config;
+    job.makeSource = [benchmark_name, level, ref_limit,
+                      time_sample]() -> std::unique_ptr<TraceSource> {
+        auto chain = std::make_unique<OwningSourceChain>();
+        TraceSource *base = &chain->add(
+            findBenchmark(benchmark_name).makeWorkload(level));
+        if (time_sample) {
+            base = &chain->add(
+                std::make_unique<TimeSampler>(*base, 10000, 90000));
+        }
+        chain->add(std::make_unique<TruncatingSource>(*base, ref_limit));
+        return chain;
+    };
+    return job;
+}
+
+void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    unsigned workers = jobs == 0 ? SweepRunner::defaultJobs() : jobs;
+    if (SweepRunner::serialForced())
+        workers = 1;
+    if (workers > count)
+        workers = static_cast<unsigned>(count);
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto body = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    // Results live in pre-sized slots indexed by submission order, so
+    // completion order never matters.
+    std::vector<SweepResult> results(jobs.size());
+    parallelFor(jobs.size(), jobs_, [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        SweepResult &res = results[i];
+        res.label = job.label;
+        {
+            ScopedTimer timer(res.wallSeconds);
+            std::unique_ptr<TraceSource> src = job.makeSource();
+            res.output = runOnce(*src, job.config);
+        }
+        res.references = res.output.results.references;
+        res.refsPerSecond = res.wallSeconds > 0
+                                ? static_cast<double>(res.references) /
+                                      res.wallSeconds
+                                : 0.0;
+    });
+    return results;
+}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("SBSIM_JOBS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+bool
+SweepRunner::serialForced()
+{
+    const char *env = std::getenv("SBSIM_SERIAL");
+    return env && env[0] == '1';
+}
+
+} // namespace sbsim

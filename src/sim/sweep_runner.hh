@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parallel sweep engine for (benchmark x configuration) grids.
+ *
+ * Every table and figure of the reproduction runs many independent
+ * simulations: each job owns its own trace source and MemorySystem,
+ * so the grid is embarrassingly parallel. SweepRunner fans a vector
+ * of SweepJobs out across a fixed-size pool of std::thread workers
+ * and returns results in submission order regardless of completion
+ * order, so callers see exactly the ordering a serial loop over
+ * runOnce would produce.
+ *
+ * Determinism contract: a job's makeSource factory is invoked on the
+ * worker thread and must build a source chain private to the job
+ * (ComposedWorkload and friends are deterministic per instance and
+ * share no mutable state), so results are bit-identical for any
+ * worker count — including 1. tests/test_sweep_runner.cc enforces
+ * this differentially against serial runOnce loops.
+ */
+
+#ifndef STREAMSIM_SIM_SWEEP_RUNNER_HH
+#define STREAMSIM_SIM_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/source.hh"
+#include "workloads/benchmark.hh"
+
+namespace sbsim {
+
+/** One (trace, configuration) point of a sweep grid. */
+struct SweepJob
+{
+    /** Caller-chosen identifier copied into the result row. */
+    std::string label;
+
+    /**
+     * Factory for the job's private trace source. Called once, on the
+     * worker thread that executes the job; the returned chain must not
+     * share mutable state with any other job's.
+     */
+    std::function<std::unique_ptr<TraceSource>()> makeSource;
+
+    MemorySystemConfig config;
+};
+
+/** A RunOutput plus per-job provenance and throughput. */
+struct SweepResult
+{
+    std::string label;
+    RunOutput output;
+
+    /** References the system processed (trace generation included). */
+    std::uint64_t references = 0;
+    /** Wall-clock seconds for source construction + simulation. */
+    double wallSeconds = 0;
+    /** references / wallSeconds (0 when the clock saw no time pass). */
+    double refsPerSecond = 0;
+};
+
+/**
+ * Build a SweepJob that models registry benchmark @p benchmark_name
+ * at @p level, truncated to @p ref_limit references, optionally
+ * time-sampled 10k-on/90k-off as the paper did. Defaults @p label to
+ * the benchmark name.
+ */
+SweepJob benchmarkJob(const std::string &benchmark_name, ScaleLevel level,
+                      const MemorySystemConfig &config,
+                      std::string label = "",
+                      std::uint64_t ref_limit = 1500000,
+                      bool time_sample = false);
+
+/**
+ * Indexed parallel-for over [0, count) on at most @p jobs workers.
+ *
+ * @p jobs == 0 resolves via SweepRunner::defaultJobs(); an effective
+ * worker count of 1 runs inline on the calling thread (the serial
+ * debugging fallback). Indices are claimed from a shared atomic
+ * counter, so @p fn must only touch state owned by its index. The
+ * first exception a worker throws is rethrown here after all workers
+ * join.
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/** Fixed-size thread-pool executor for sweep grids. */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker cap; 0 = defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Effective worker cap (1 when SBSIM_SERIAL forces serial). */
+    unsigned jobs() const { return serialForced() ? 1 : jobs_; }
+
+    /**
+     * Execute every job and return results in submission order.
+     * Results are bit-identical for any worker count.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Default worker count: SBSIM_JOBS when set and positive, else
+     * std::thread::hardware_concurrency() (1 when unknown).
+     */
+    static unsigned defaultJobs();
+
+    /** True when SBSIM_SERIAL=1 forces inline serial execution. */
+    static bool serialForced();
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_SIM_SWEEP_RUNNER_HH

@@ -9,6 +9,7 @@
 #ifndef STREAMSIM_TRACE_SOURCE_HH
 #define STREAMSIM_TRACE_SOURCE_HH
 
+#include <memory>
 #include <vector>
 
 #include "mem/types.hh"
@@ -56,6 +57,42 @@ class VectorSource : public TraceSource
   private:
     std::vector<MemAccess> accesses_;
     std::size_t pos_ = 0;
+};
+
+/**
+ * A TraceSource that owns a whole chain of sources and reads from the
+ * most recently added link. Wrappers like TimeSampler and
+ * TruncatingSource hold references to the source below them, so a
+ * caller handing a composed chain across a boundary (a sweep job, a
+ * CLI command) needs one object keeping every link alive.
+ */
+class OwningSourceChain : public TraceSource
+{
+  public:
+    /** Append a link; the chain now reads from it. @return the link. */
+    TraceSource &
+    add(std::unique_ptr<TraceSource> link)
+    {
+        links_.push_back(std::move(link));
+        return *links_.back();
+    }
+
+    bool
+    next(MemAccess &out) override
+    {
+        return !links_.empty() && links_.back()->next(out);
+    }
+
+    void
+    reset() override
+    {
+        // The head resets its wrapped source recursively.
+        if (!links_.empty())
+            links_.back()->reset();
+    }
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> links_;
 };
 
 /** Drain an entire source into a vector (testing / small traces only). */

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 
@@ -19,21 +20,25 @@ class StderrSink : public LogSink
 };
 
 StderrSink defaultSink;
-LogSink *currentSink = &defaultSink;
+// Atomic: the only mutable process-wide state in the simulator. Sweep
+// workers may warn concurrently while a test thread swaps the sink;
+// the pointer itself must not tear (sinks installed mid-run may still
+// miss in-flight messages, which is fine for logging).
+std::atomic<LogSink *> currentSink{&defaultSink};
 
 } // namespace
 
 LogSink &
 logSink()
 {
-    return *currentSink;
+    return *currentSink.load(std::memory_order_acquire);
 }
 
 LogSink *
 setLogSink(LogSink *sink)
 {
-    LogSink *prev = currentSink;
-    currentSink = sink ? sink : &defaultSink;
+    LogSink *prev = currentSink.exchange(sink ? sink : &defaultSink,
+                                         std::memory_order_acq_rel);
     return prev == &defaultSink ? nullptr : prev;
 }
 
@@ -44,7 +49,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << msg << " (" << file << ":" << line << ")";
-    currentSink->message("panic", os.str());
+    logSink().message("panic", os.str());
     std::abort();
 }
 
@@ -53,20 +58,20 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::ostringstream os;
     os << msg << " (" << file << ":" << line << ")";
-    currentSink->message("fatal", os.str());
+    logSink().message("fatal", os.str());
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    currentSink->message("warn", msg);
+    logSink().message("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    currentSink->message("info", msg);
+    logSink().message("info", msg);
 }
 
 } // namespace detail

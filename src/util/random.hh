@@ -5,6 +5,14 @@
  * The simulator never uses std::rand or random_device: every workload
  * generator and random replacement policy draws from a seeded Pcg32 so
  * that experiments are exactly reproducible run to run.
+ *
+ * Thread ownership (audited for the parallel sweep runner): Pcg32
+ * holds only per-instance state and is seeded solely from its
+ * constructor arguments — never from time, the address of an object,
+ * or a global counter — so two instances constructed with the same
+ * (seed, stream) on different threads produce identical sequences.
+ * Instances are NOT internally synchronized; never share one across
+ * threads. Each sweep job owns its workload, which owns its Pcg32.
  */
 
 #ifndef STREAMSIM_UTIL_RANDOM_HH

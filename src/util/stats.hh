@@ -11,6 +11,7 @@
 #ifndef STREAMSIM_UTIL_STATS_HH
 #define STREAMSIM_UTIL_STATS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -89,6 +90,38 @@ class BucketedDistribution
     std::vector<std::uint64_t> bounds_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+};
+
+/**
+ * RAII wall-clock timer: accumulates the scope's elapsed seconds into
+ * a caller-owned double on destruction. Used by the sweep runner and
+ * bench harness for per-job and total wall-clock reporting.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double &sink_seconds)
+        : sink_(&sink_seconds),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedTimer() { *sink_ += elapsedSeconds(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Seconds since construction, without stopping the timer. */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    double *sink_;
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** A single named scalar for reporting. */

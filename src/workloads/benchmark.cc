@@ -126,6 +126,11 @@ buildRegistry()
 const std::vector<Benchmark> &
 allBenchmarks()
 {
+    // Immutable after construction; the C++11 magic-static guarantees
+    // make first-touch from concurrent sweep workers safe, and every
+    // later access is a const read. Spec builders return fresh
+    // WorkloadSpec values, so concurrent makeWorkload calls for the
+    // same benchmark share no mutable state.
     static const std::vector<Benchmark> registry = buildRegistry();
     return registry;
 }

@@ -3,9 +3,11 @@
 #include <memory>
 
 #include "sim/memory_system.hh"
+#include "sim/sweep_runner.hh"
 #include "trace/file_trace.hh"
 #include "trace/time_sampler.hh"
 #include "trace/trace_stats.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 namespace sbsim {
@@ -24,36 +26,26 @@ printTable(const TablePrinter &table, const Options &o,
         table.print(out);
 }
 
-/** Owns whatever chain of sources the options describe. */
-struct InputChain
-{
-    std::unique_ptr<ComposedWorkload> workload;
-    std::unique_ptr<TraceReader> reader;
-    std::unique_ptr<TimeSampler> sampler;
-    std::unique_ptr<TruncatingSource> limited;
-
-    TraceSource &source() { return *limited; }
-};
-
-InputChain
+/**
+ * Build the self-owned source chain the options describe. Also used
+ * as the per-job source factory by the sweep command, where each
+ * worker thread needs a private chain.
+ */
+std::unique_ptr<TraceSource>
 makeInput(const Options &o)
 {
-    InputChain chain;
+    auto chain = std::make_unique<OwningSourceChain>();
     TraceSource *base = nullptr;
     if (!o.benchmark.empty()) {
-        chain.workload =
-            findBenchmark(o.benchmark).makeWorkload(o.scale);
-        base = chain.workload.get();
+        base = &chain->add(
+            findBenchmark(o.benchmark).makeWorkload(o.scale));
     } else {
-        chain.reader = std::make_unique<TraceReader>(o.traceFile);
-        base = chain.reader.get();
+        base = &chain->add(std::make_unique<TraceReader>(o.traceFile));
     }
-    if (o.timeSample) {
-        chain.sampler = std::make_unique<TimeSampler>(*base, 10000,
-                                                      90000);
-        base = chain.sampler.get();
-    }
-    chain.limited = std::make_unique<TruncatingSource>(*base, o.refs);
+    if (o.timeSample)
+        base = &chain->add(
+            std::make_unique<TimeSampler>(*base, 10000, 90000));
+    chain->add(std::make_unique<TruncatingSource>(*base, o.refs));
     return chain;
 }
 
@@ -74,9 +66,9 @@ listCommand(std::ostream &out)
 int
 runCommandImpl(const Options &o, std::ostream &out)
 {
-    InputChain input = makeInput(o);
+    std::unique_ptr<TraceSource> input = makeInput(o);
     MemorySystem system(toSystemConfig(o));
-    std::uint64_t refs = system.run(input.source());
+    std::uint64_t refs = system.run(*input);
     SystemResults r = system.finish();
 
     TablePrinter table({"metric", "value"});
@@ -120,9 +112,9 @@ runCommandImpl(const Options &o, std::ostream &out)
 int
 captureCommand(const Options &o, std::ostream &out)
 {
-    InputChain input = makeInput(o);
+    std::unique_ptr<TraceSource> input = makeInput(o);
     TraceWriter writer(o.outFile);
-    std::uint64_t n = writer.appendAll(input.source());
+    std::uint64_t n = writer.appendAll(*input);
     writer.close();
     out << "wrote " << n << " references to " << o.outFile << "\n";
     return 0;
@@ -131,27 +123,49 @@ captureCommand(const Options &o, std::ostream &out)
 int
 sweepCommand(const Options &o, std::ostream &out)
 {
-    TablePrinter table({"streams", "hit_rate_%", "EB_%"});
+    std::vector<SweepJob> jobs;
+    jobs.reserve(o.sweepValues.size());
     for (std::uint32_t n : o.sweepValues) {
         Options point = o;
         point.streams = n;
-        InputChain input = makeInput(point);
-        MemorySystem system(toSystemConfig(point));
-        system.run(input.source());
-        SystemResults r = system.finish();
-        table.addRow({std::to_string(n),
-                      fmt(r.streamHitRatePercent, 1),
-                      fmt(r.extraBandwidthPercent, 1)});
+        SweepJob job;
+        job.label = std::to_string(n);
+        job.config = toSystemConfig(point);
+        job.makeSource = [point] { return makeInput(point); };
+        jobs.push_back(std::move(job));
+    }
+
+    SweepRunner runner(o.jobs);
+    double wall = 0;
+    std::vector<SweepResult> results;
+    {
+        ScopedTimer timer(wall);
+        results = runner.run(jobs);
+    }
+
+    TablePrinter table({"streams", "hit_rate_%", "EB_%"});
+    std::uint64_t total_refs = 0;
+    for (const SweepResult &r : results) {
+        total_refs += r.references;
+        table.addRow({r.label,
+                      fmt(r.output.results.streamHitRatePercent, 1),
+                      fmt(r.output.results.extraBandwidthPercent, 1)});
     }
     printTable(table, o, out);
+    if (o.fullStats) {
+        out << "\nsweep: " << results.size() << " runs, "
+            << fmt(total_refs) << " refs in " << fmt(wall, 2) << " s ("
+            << fmt(wall > 0 ? total_refs / wall : 0.0, 0)
+            << " refs/s aggregate, " << runner.jobs() << " workers)\n";
+    }
     return 0;
 }
 
 int
 analyzeCommand(const Options &o, std::ostream &out)
 {
-    InputChain input = makeInput(o);
-    TraceStats stats(input.source(), 32, /*track_footprint=*/true);
+    std::unique_ptr<TraceSource> input = makeInput(o);
+    TraceStats stats(*input, 32, /*track_footprint=*/true);
     MemAccess a;
     while (stats.next(a)) {
     }

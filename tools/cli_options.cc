@@ -212,6 +212,13 @@ parseArgs(const std::vector<std::string> &args)
                 result.error = "bad --values list";
                 return result;
             }
+        } else if (a == "--jobs" || a == "-j") {
+            if (!need_value(i, a))
+                return result;
+            if (!parseU32(args[++i], o.jobs)) {
+                result.error = "bad --jobs value";
+                return result;
+            }
         } else {
             result.error = "unknown option: " + a;
             return result;
@@ -324,6 +331,9 @@ output:
   --stats                    dump full component statistics
   --csv                      emit tables as CSV
   --values A,B,C             sweep values (default 1,2,4,6,8,10)
+  --jobs N (-j)              sweep worker threads (0 = auto from
+                             SBSIM_JOBS or hardware concurrency;
+                             1 or SBSIM_SERIAL=1 = serial)
 )";
 }
 

@@ -62,6 +62,9 @@ struct Options
 
     // Sweep values (number of streams).
     std::vector<std::uint32_t> sweepValues = {1, 2, 4, 6, 8, 10};
+    /** Sweep worker threads; 0 = auto (SBSIM_JOBS, else hardware
+     *  concurrency). 1 runs serially; SBSIM_SERIAL=1 forces serial. */
+    std::uint32_t jobs = 0;
 };
 
 /** Result of parsing: options or an error message. */
