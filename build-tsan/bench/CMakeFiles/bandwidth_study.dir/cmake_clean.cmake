@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_study.dir/bandwidth_study.cc.o"
+  "CMakeFiles/bandwidth_study.dir/bandwidth_study.cc.o.d"
+  "CMakeFiles/bandwidth_study.dir/bench_common.cc.o"
+  "CMakeFiles/bandwidth_study.dir/bench_common.cc.o.d"
+  "bandwidth_study"
+  "bandwidth_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_rpt.dir/baseline_rpt.cc.o"
+  "CMakeFiles/baseline_rpt.dir/baseline_rpt.cc.o.d"
+  "CMakeFiles/baseline_rpt.dir/bench_common.cc.o"
+  "CMakeFiles/baseline_rpt.dir/bench_common.cc.o.d"
+  "baseline_rpt"
+  "baseline_rpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_rpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

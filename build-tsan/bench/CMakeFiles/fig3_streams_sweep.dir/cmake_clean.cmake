@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_streams_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig3_streams_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig3_streams_sweep.dir/fig3_streams_sweep.cc.o"
+  "CMakeFiles/fig3_streams_sweep.dir/fig3_streams_sweep.cc.o.d"
+  "fig3_streams_sweep"
+  "fig3_streams_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_streams_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_filter.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_filter.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_filter.dir/fig5_filter.cc.o"
+  "CMakeFiles/fig5_filter.dir/fig5_filter.cc.o.d"
+  "fig5_filter"
+  "fig5_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nonunit_stride.dir/bench_common.cc.o"
+  "CMakeFiles/fig8_nonunit_stride.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig8_nonunit_stride.dir/fig8_nonunit_stride.cc.o"
+  "CMakeFiles/fig8_nonunit_stride.dir/fig8_nonunit_stride.cc.o.d"
+  "fig8_nonunit_stride"
+  "fig8_nonunit_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nonunit_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_czone_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig9_czone_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig9_czone_sweep.dir/fig9_czone_sweep.cc.o"
+  "CMakeFiles/fig9_czone_sweep.dir/fig9_czone_sweep.cc.o.d"
+  "fig9_czone_sweep"
+  "fig9_czone_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_czone_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_prefetch.dir/bench_common.cc.o"
+  "CMakeFiles/software_prefetch.dir/bench_common.cc.o.d"
+  "CMakeFiles/software_prefetch.dir/software_prefetch.cc.o"
+  "CMakeFiles/software_prefetch.dir/software_prefetch.cc.o.d"
+  "software_prefetch"
+  "software_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

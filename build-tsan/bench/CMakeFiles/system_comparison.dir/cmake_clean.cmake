@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_comparison.dir/bench_common.cc.o"
+  "CMakeFiles/system_comparison.dir/bench_common.cc.o.d"
+  "CMakeFiles/system_comparison.dir/system_comparison.cc.o"
+  "CMakeFiles/system_comparison.dir/system_comparison.cc.o.d"
+  "system_comparison"
+  "system_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_extra_bandwidth.dir/bench_common.cc.o"
+  "CMakeFiles/table2_extra_bandwidth.dir/bench_common.cc.o.d"
+  "CMakeFiles/table2_extra_bandwidth.dir/table2_extra_bandwidth.cc.o"
+  "CMakeFiles/table2_extra_bandwidth.dir/table2_extra_bandwidth.cc.o.d"
+  "table2_extra_bandwidth"
+  "table2_extra_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_extra_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

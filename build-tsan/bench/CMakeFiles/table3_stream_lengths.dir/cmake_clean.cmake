@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_stream_lengths.dir/bench_common.cc.o"
+  "CMakeFiles/table3_stream_lengths.dir/bench_common.cc.o.d"
+  "CMakeFiles/table3_stream_lengths.dir/table3_stream_lengths.cc.o"
+  "CMakeFiles/table3_stream_lengths.dir/table3_stream_lengths.cc.o.d"
+  "table3_stream_lengths"
+  "table3_stream_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_stream_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_vs_l2.dir/bench_common.cc.o"
+  "CMakeFiles/table4_vs_l2.dir/bench_common.cc.o.d"
+  "CMakeFiles/table4_vs_l2.dir/table4_vs_l2.cc.o"
+  "CMakeFiles/table4_vs_l2.dir/table4_vs_l2.cc.o.d"
+  "table4_vs_l2"
+  "table4_vs_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vs_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

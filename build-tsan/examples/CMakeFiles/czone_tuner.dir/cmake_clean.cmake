@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czone_tuner.dir/czone_tuner.cpp.o"
+  "CMakeFiles/czone_tuner.dir/czone_tuner.cpp.o.d"
+  "czone_tuner"
+  "czone_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czone_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for czone_tuner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/streamsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/streamsim_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/streamsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/streamsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/streamsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/streamsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/streamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_traversal "/root/repo/build-tsan/examples/matrix_traversal")
+set_tests_properties(example_matrix_traversal PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bandwidth_tuning "/root/repo/build-tsan/examples/bandwidth_tuning")
+set_tests_properties(example_bandwidth_tuning PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tools "/root/repo/build-tsan/examples/trace_tools")
+set_tests_properties(example_trace_tools PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_czone_tuner "/root/repo/build-tsan/examples/czone_tuner")
+set_tests_properties(example_czone_tuner PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_baseline.dir/rpt.cc.o"
+  "CMakeFiles/streamsim_baseline.dir/rpt.cc.o.d"
+  "libstreamsim_baseline.a"
+  "libstreamsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_cache.dir/cache.cc.o"
+  "CMakeFiles/streamsim_cache.dir/cache.cc.o.d"
+  "CMakeFiles/streamsim_cache.dir/replacement.cc.o"
+  "CMakeFiles/streamsim_cache.dir/replacement.cc.o.d"
+  "libstreamsim_cache.a"
+  "libstreamsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/streamsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/streamsim_sim.dir/l2_study.cc.o"
+  "CMakeFiles/streamsim_sim.dir/l2_study.cc.o.d"
+  "CMakeFiles/streamsim_sim.dir/memory_system.cc.o"
+  "CMakeFiles/streamsim_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/streamsim_sim.dir/sweep_runner.cc.o"
+  "CMakeFiles/streamsim_sim.dir/sweep_runner.cc.o.d"
+  "libstreamsim_sim.a"
+  "libstreamsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

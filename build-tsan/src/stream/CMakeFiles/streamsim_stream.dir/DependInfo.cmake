@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/czone_filter.cc" "src/stream/CMakeFiles/streamsim_stream.dir/czone_filter.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/czone_filter.cc.o.d"
+  "/root/repo/src/stream/min_delta.cc" "src/stream/CMakeFiles/streamsim_stream.dir/min_delta.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/min_delta.cc.o.d"
+  "/root/repo/src/stream/prefetch_engine.cc" "src/stream/CMakeFiles/streamsim_stream.dir/prefetch_engine.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/prefetch_engine.cc.o.d"
+  "/root/repo/src/stream/stream_buffer.cc" "src/stream/CMakeFiles/streamsim_stream.dir/stream_buffer.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/stream_buffer.cc.o.d"
+  "/root/repo/src/stream/stream_set.cc" "src/stream/CMakeFiles/streamsim_stream.dir/stream_set.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/stream_set.cc.o.d"
+  "/root/repo/src/stream/unit_filter.cc" "src/stream/CMakeFiles/streamsim_stream.dir/unit_filter.cc.o" "gcc" "src/stream/CMakeFiles/streamsim_stream.dir/unit_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/streamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

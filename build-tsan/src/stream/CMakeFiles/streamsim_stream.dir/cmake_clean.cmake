@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_stream.dir/czone_filter.cc.o"
+  "CMakeFiles/streamsim_stream.dir/czone_filter.cc.o.d"
+  "CMakeFiles/streamsim_stream.dir/min_delta.cc.o"
+  "CMakeFiles/streamsim_stream.dir/min_delta.cc.o.d"
+  "CMakeFiles/streamsim_stream.dir/prefetch_engine.cc.o"
+  "CMakeFiles/streamsim_stream.dir/prefetch_engine.cc.o.d"
+  "CMakeFiles/streamsim_stream.dir/stream_buffer.cc.o"
+  "CMakeFiles/streamsim_stream.dir/stream_buffer.cc.o.d"
+  "CMakeFiles/streamsim_stream.dir/stream_set.cc.o"
+  "CMakeFiles/streamsim_stream.dir/stream_set.cc.o.d"
+  "CMakeFiles/streamsim_stream.dir/unit_filter.cc.o"
+  "CMakeFiles/streamsim_stream.dir/unit_filter.cc.o.d"
+  "libstreamsim_stream.a"
+  "libstreamsim_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_trace.dir/file_trace.cc.o"
+  "CMakeFiles/streamsim_trace.dir/file_trace.cc.o.d"
+  "libstreamsim_trace.a"
+  "libstreamsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

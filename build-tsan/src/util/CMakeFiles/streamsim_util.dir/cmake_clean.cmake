@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_util.dir/logging.cc.o"
+  "CMakeFiles/streamsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/streamsim_util.dir/stats.cc.o"
+  "CMakeFiles/streamsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/streamsim_util.dir/table.cc.o"
+  "CMakeFiles/streamsim_util.dir/table.cc.o.d"
+  "libstreamsim_util.a"
+  "libstreamsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

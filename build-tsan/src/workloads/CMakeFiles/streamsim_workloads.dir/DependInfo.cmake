@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adm.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/adm.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/adm.cc.o.d"
+  "/root/repo/src/workloads/appbt.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/appbt.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/appbt.cc.o.d"
+  "/root/repo/src/workloads/applu.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/applu.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/applu.cc.o.d"
+  "/root/repo/src/workloads/appsp.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/appsp.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/appsp.cc.o.d"
+  "/root/repo/src/workloads/bdna.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/bdna.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/bdna.cc.o.d"
+  "/root/repo/src/workloads/benchmark.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/benchmark.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/benchmark.cc.o.d"
+  "/root/repo/src/workloads/cgm.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/cgm.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/cgm.cc.o.d"
+  "/root/repo/src/workloads/dyfesm.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/dyfesm.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/dyfesm.cc.o.d"
+  "/root/repo/src/workloads/embar.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/embar.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/embar.cc.o.d"
+  "/root/repo/src/workloads/fftpde.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/fftpde.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/fftpde.cc.o.d"
+  "/root/repo/src/workloads/is_bench.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/is_bench.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/is_bench.cc.o.d"
+  "/root/repo/src/workloads/mdg.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/mdg.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/mdg.cc.o.d"
+  "/root/repo/src/workloads/mgrid.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/mgrid.cc.o.d"
+  "/root/repo/src/workloads/pattern.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/pattern.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/pattern.cc.o.d"
+  "/root/repo/src/workloads/qcd.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/qcd.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/qcd.cc.o.d"
+  "/root/repo/src/workloads/spec77.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/spec77.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/spec77.cc.o.d"
+  "/root/repo/src/workloads/trfd.cc" "src/workloads/CMakeFiles/streamsim_workloads.dir/trfd.cc.o" "gcc" "src/workloads/CMakeFiles/streamsim_workloads.dir/trfd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/streamsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/streamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_sweep_tests.dir/test_golden_sweep.cc.o"
+  "CMakeFiles/streamsim_sweep_tests.dir/test_golden_sweep.cc.o.d"
+  "CMakeFiles/streamsim_sweep_tests.dir/test_sweep_runner.cc.o"
+  "CMakeFiles/streamsim_sweep_tests.dir/test_sweep_runner.cc.o.d"
+  "streamsim_sweep_tests"
+  "streamsim_sweep_tests.pdb"
+  "streamsim_sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchmarks.cc" "tests/CMakeFiles/streamsim_tests.dir/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_benchmarks.cc.o.d"
+  "/root/repo/tests/test_bitutil.cc" "tests/CMakeFiles/streamsim_tests.dir/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_bitutil.cc.o.d"
+  "/root/repo/tests/test_block.cc" "tests/CMakeFiles/streamsim_tests.dir/test_block.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_block.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/streamsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_differential.cc" "tests/CMakeFiles/streamsim_tests.dir/test_cache_differential.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_cache_differential.cc.o.d"
+  "/root/repo/tests/test_calibration_pins.cc" "tests/CMakeFiles/streamsim_tests.dir/test_calibration_pins.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_calibration_pins.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/streamsim_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_czone_filter.cc" "tests/CMakeFiles/streamsim_tests.dir/test_czone_filter.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_czone_filter.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/streamsim_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/streamsim_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/streamsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_l2_study.cc" "tests/CMakeFiles/streamsim_tests.dir/test_l2_study.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_l2_study.cc.o.d"
+  "/root/repo/tests/test_l2_system.cc" "tests/CMakeFiles/streamsim_tests.dir/test_l2_system.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_l2_system.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/streamsim_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_main_memory.cc" "tests/CMakeFiles/streamsim_tests.dir/test_main_memory.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_main_memory.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/streamsim_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_min_delta.cc" "tests/CMakeFiles/streamsim_tests.dir/test_min_delta.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_min_delta.cc.o.d"
+  "/root/repo/tests/test_pattern.cc" "tests/CMakeFiles/streamsim_tests.dir/test_pattern.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_pattern.cc.o.d"
+  "/root/repo/tests/test_prefetch_engine.cc" "tests/CMakeFiles/streamsim_tests.dir/test_prefetch_engine.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_prefetch_engine.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/streamsim_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/streamsim_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_rpt.cc" "tests/CMakeFiles/streamsim_tests.dir/test_rpt.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_rpt.cc.o.d"
+  "/root/repo/tests/test_set_sampler.cc" "tests/CMakeFiles/streamsim_tests.dir/test_set_sampler.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_set_sampler.cc.o.d"
+  "/root/repo/tests/test_split_cache.cc" "tests/CMakeFiles/streamsim_tests.dir/test_split_cache.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_split_cache.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/streamsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stream_buffer.cc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_buffer.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_buffer.cc.o.d"
+  "/root/repo/tests/test_stream_replacement.cc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_replacement.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_replacement.cc.o.d"
+  "/root/repo/tests/test_stream_set.cc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_set.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_stream_set.cc.o.d"
+  "/root/repo/tests/test_sw_prefetch.cc" "tests/CMakeFiles/streamsim_tests.dir/test_sw_prefetch.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_sw_prefetch.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/streamsim_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_time_sampler.cc" "tests/CMakeFiles/streamsim_tests.dir/test_time_sampler.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_time_sampler.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/streamsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_translation.cc" "tests/CMakeFiles/streamsim_tests.dir/test_translation.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_translation.cc.o.d"
+  "/root/repo/tests/test_unit_filter.cc" "tests/CMakeFiles/streamsim_tests.dir/test_unit_filter.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_unit_filter.cc.o.d"
+  "/root/repo/tests/test_victim_buffer.cc" "tests/CMakeFiles/streamsim_tests.dir/test_victim_buffer.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_victim_buffer.cc.o.d"
+  "/root/repo/tests/test_victim_system.cc" "tests/CMakeFiles/streamsim_tests.dir/test_victim_system.cc.o" "gcc" "tests/CMakeFiles/streamsim_tests.dir/test_victim_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/tools/CMakeFiles/streamsim_cli.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/streamsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/streamsim_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/streamsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/streamsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/streamsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/streamsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/streamsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

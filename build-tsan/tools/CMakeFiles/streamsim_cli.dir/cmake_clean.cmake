@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_cli.dir/cli_commands.cc.o"
+  "CMakeFiles/streamsim_cli.dir/cli_commands.cc.o.d"
+  "CMakeFiles/streamsim_cli.dir/cli_options.cc.o"
+  "CMakeFiles/streamsim_cli.dir/cli_options.cc.o.d"
+  "libstreamsim_cli.a"
+  "libstreamsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsim_tool.dir/streamsim_main.cc.o"
+  "CMakeFiles/streamsim_tool.dir/streamsim_main.cc.o.d"
+  "streamsim"
+  "streamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
