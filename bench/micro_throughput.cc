@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
+#include "sim/experiment.hh"
 #include "sim/memory_system.hh"
 #include "stream/prefetch_engine.hh"
+#include "trace/time_sampler.hh"
 #include "workloads/benchmark.hh"
 
 using namespace sbsim;
@@ -67,6 +69,33 @@ BM_MemorySystem(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_MemorySystem);
+
+/**
+ * The end-to-end number every reproduced figure is bounded by: a full
+ * synthetic workload generated and retired through the paper's system
+ * configuration (10 streams, unit filter, czone detector), measured in
+ * references per second. tools/bench_throughput.sh records this into
+ * BENCH_throughput.json to track the perf trajectory across PRs.
+ */
+void
+BM_RunBenchmark(benchmark::State &state)
+{
+    constexpr std::uint64_t kRefs = 200000;
+    const Benchmark &bench = findBenchmark("mgrid");
+    for (auto _ : state) {
+        auto workload = bench.makeWorkload();
+        TruncatingSource limited(*workload, kRefs);
+        MemorySystem system(paperSystemConfig(
+            10, AllocationPolicy::UNIT_FILTER, StrideDetection::CZONE, 18));
+        std::uint64_t n = system.run(limited);
+        benchmark::DoNotOptimize(n);
+        SystemResults results = system.finish();
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRefs));
+}
+BENCHMARK(BM_RunBenchmark)->Unit(benchmark::kMillisecond);
 
 void
 BM_WorkloadGeneration(benchmark::State &state)

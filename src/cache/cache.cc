@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <algorithm>
+
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
@@ -39,7 +41,13 @@ Cache::Cache(const CacheConfig &config, std::string name)
       mapper_(config.blockSize),
       numSets_(config.numSets()),
       setShift_(floorLog2(config.blockSize)),
+      tagShift_(setShift_ + floorLog2(config.numSets())),
+      policyTracksUse_(config.replacement == ReplacementKind::LRU &&
+                       config.assoc > 1),
+      policyTracksFill_(config.replacement != ReplacementKind::RANDOM &&
+                        config.assoc > 1),
       lines_(static_cast<std::size_t>(config.numSets()) * config.assoc),
+      mruWay_(config.numSets(), 0),
       policy_(makeReplacementPolicy(config.replacement, config.numSets(),
                                     config.assoc, config.seed))
 {}
@@ -53,7 +61,7 @@ Cache::setIndex(Addr a) const
 Addr
 Cache::tagOf(Addr a) const
 {
-    return a >> (setShift_ + floorLog2(numSets_));
+    return a >> tagShift_;
 }
 
 Cache::Line &
@@ -71,7 +79,15 @@ Cache::lineAt(std::uint32_t set, std::uint32_t way) const
 int
 Cache::findWay(std::uint32_t set, Addr tag) const
 {
+    // Locality makes the most recently touched way the likely hit;
+    // probing it first makes the common case one comparison.
+    std::uint32_t mru = mruWay_[set];
+    const Line &mru_line = lineAt(set, mru);
+    if (mru_line.valid && mru_line.tag == tag)
+        return static_cast<int>(mru);
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (w == mru)
+            continue;
         const Line &line = lineAt(set, w);
         if (line.valid && line.tag == tag)
             return static_cast<int>(w);
@@ -87,12 +103,12 @@ Cache::evictFrom(std::uint32_t set, CacheResult &result)
         if (!lineAt(set, w).valid)
             return w;
     }
-    std::uint32_t w = policy_->victim(set);
+    // Direct-mapped: the only way is the victim; skip the policy.
+    std::uint32_t w = config_.assoc == 1 ? 0u : policy_->victim(set);
     SBSIM_ASSERT(w < config_.assoc, "policy returned way ", w);
     Line &line = lineAt(set, w);
-    Addr victim_base =
-        (line.tag << (setShift_ + floorLog2(numSets_))) |
-        (static_cast<Addr>(set) << setShift_);
+    Addr victim_base = (line.tag << tagShift_) |
+                       (static_cast<Addr>(set) << setShift_);
     result.victimEvicted = true;
     result.victimAddr = victim_base;
     if (line.dirty && config_.writeBack) {
@@ -117,7 +133,9 @@ Cache::access(const MemAccess &access)
     if (way >= 0) {
         result.hit = true;
         ++hits_;
-        policy_->touch(set, static_cast<std::uint32_t>(way));
+        mruWay_[set] = static_cast<std::uint32_t>(way);
+        if (policyTracksUse_)
+            policy_->touch(set, static_cast<std::uint32_t>(way));
         if (access.isWrite()) {
             if (config_.writeBack)
                 lineAt(set, static_cast<std::uint32_t>(way)).dirty = true;
@@ -138,7 +156,9 @@ Cache::access(const MemAccess &access)
     line.tag = tag;
     line.valid = true;
     line.dirty = access.isWrite() && config_.writeBack;
-    policy_->fill(set, fill_way);
+    mruWay_[set] = fill_way;
+    if (policyTracksFill_)
+        policy_->fill(set, fill_way);
     result.filled = true;
     return result;
 }
@@ -155,6 +175,7 @@ Cache::fill(Addr a, bool dirty)
         // Already present: just update dirty state.
         if (dirty)
             lineAt(set, static_cast<std::uint32_t>(way)).dirty = true;
+        mruWay_[set] = static_cast<std::uint32_t>(way);
         result.hit = true;
         return result;
     }
@@ -164,7 +185,9 @@ Cache::fill(Addr a, bool dirty)
     line.tag = tag;
     line.valid = true;
     line.dirty = dirty;
-    policy_->fill(set, fill_way);
+    mruWay_[set] = fill_way;
+    if (policyTracksFill_)
+        policy_->fill(set, fill_way);
     result.filled = true;
     return result;
 }
@@ -201,6 +224,7 @@ Cache::reset()
 {
     for (auto &line : lines_)
         line = Line{};
+    std::fill(mruWay_.begin(), mruWay_.end(), 0u);
     policy_->reset();
     accesses_.reset();
     hits_.reset();

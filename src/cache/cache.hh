@@ -133,7 +133,17 @@ class Cache
     BlockMapper mapper_;
     std::uint32_t numSets_;
     unsigned setShift_;
+    /** Precomputed setShift_ + log2(numSets_): tag <-> address. */
+    unsigned tagShift_;
+    /** Which policy notifications carry information: RANDOM ignores
+     *  both touch() and fill(), FIFO ignores touch(), and for a
+     *  direct-mapped cache no bookkeeping matters at all (the victim
+     *  is always way 0). The hot paths skip the dead virtual calls. */
+    bool policyTracksUse_;
+    bool policyTracksFill_;
     std::vector<Line> lines_;
+    /** Last way hit or filled per set; probed first by findWay. */
+    std::vector<std::uint32_t> mruWay_;
     std::unique_ptr<ReplacementPolicy> policy_;
 
     Counter accesses_;

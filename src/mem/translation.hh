@@ -70,11 +70,20 @@ class PageMapper
             return vaddr;
         Addr offset = vaddr & mask(pageBits_);
         std::uint64_t vpn = vaddr >> pageBits_;
+        // Single-entry TLB: references cluster on pages, so the
+        // Feistel walk is paid once per page run, not per reference.
+        if (vpn == lastVpn_)
+            return lastFrameBase_ | offset;
+        Addr frame_base;
         if (vpn >> vpnBits_) {
             // Outside the permuted window: keep frame identity.
-            return vaddr;
+            frame_base = vpn << pageBits_;
+        } else {
+            frame_base = permute(vpn) << pageBits_;
         }
-        return (permute(vpn) << pageBits_) | offset;
+        lastVpn_ = vpn;
+        lastFrameBase_ = frame_base;
+        return frame_base | offset;
     }
 
   private:
@@ -110,6 +119,12 @@ class PageMapper
     unsigned pageBits_;
     unsigned vpnBits_;
     std::uint64_t seed_;
+
+    /** Memo of the last translated page (never a valid VPN at init).
+     *  Mutable: a pure cache of the deterministic permutation, so
+     *  translate() stays const for callers. */
+    mutable std::uint64_t lastVpn_ = ~std::uint64_t{0};
+    mutable Addr lastFrameBase_ = 0;
 };
 
 } // namespace sbsim

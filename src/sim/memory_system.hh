@@ -127,7 +127,14 @@ class MemorySystem
     /** Simulate one reference. */
     void processAccess(const MemAccess &access);
 
-    /** Drain @p src through the system. @return references processed. */
+    /** References pulled per nextBatch() call by run(). */
+    static constexpr std::size_t kRunBatch = 256;
+
+    /**
+     * Drain @p src through the system in kRunBatch-sized batches.
+     * Produces results bit-identical to calling processAccess() per
+     * next() reference. @return references processed.
+     */
     std::uint64_t run(TraceSource &src);
 
     /**

@@ -34,7 +34,8 @@ MinDeltaDetector::onMiss(Addr a)
     }
 
     slots_[nextVictim_] = {a, true};
-    nextVictim_ = (nextVictim_ + 1) % slots_.size();
+    if (++nextVictim_ == slots_.size())
+        nextVictim_ = 0;
 
     if (!found ||
         static_cast<std::uint64_t>(std::llabs(best)) > maxStride_) {

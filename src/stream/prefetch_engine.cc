@@ -65,12 +65,21 @@ PrefetchEngine::recordRun(const StreamFlush &flushed)
 }
 
 void
-PrefetchEngine::accountAllocation(const StreamAllocation &alloc)
+PrefetchEngine::allocateStream(StreamSet &set, Addr start,
+                               std::int64_t stride, std::uint64_t now,
+                               EngineOutcome &outcome)
 {
+    // Issue straight into the member buffer (cleared by the caller):
+    // the per-miss hot path must not allocate.
+    StreamFlush flushed;
+    set.allocate(start, stride, now, lastIssued_, flushed);
     ++stats_.allocations;
-    stats_.prefetchesIssued += alloc.issued.size();
-    stats_.uselessFlushed += alloc.flushed.uselessPrefetches;
-    recordRun(alloc.flushed);
+    stats_.prefetchesIssued += lastIssued_.size();
+    stats_.uselessFlushed += flushed.uselessPrefetches;
+    recordRun(flushed);
+    outcome.allocated = true;
+    outcome.prefetchesIssued =
+        static_cast<std::uint32_t>(lastIssued_.size());
 }
 
 EngineOutcome
@@ -120,21 +129,12 @@ PrefetchEngine::onPrimaryMiss(const MemAccess &access, std::uint64_t now)
     }
 
     if (allocate_unit) {
-        StreamAllocation alloc = set.allocate(
-            access.addr, static_cast<std::int64_t>(config_.blockSize), now);
-        accountAllocation(alloc);
-        outcome.allocated = true;
-        outcome.prefetchesIssued =
-            static_cast<std::uint32_t>(alloc.issued.size());
-        lastIssued_ = alloc.issued;
+        allocateStream(set, access.addr,
+                       static_cast<std::int64_t>(config_.blockSize), now,
+                       outcome);
     } else if (stride_alloc) {
-        StreamAllocation alloc =
-            set.allocate(stride_alloc->startAddr, stride_alloc->stride, now);
-        accountAllocation(alloc);
-        outcome.allocated = true;
-        outcome.prefetchesIssued =
-            static_cast<std::uint32_t>(alloc.issued.size());
-        lastIssued_ = alloc.issued;
+        allocateStream(set, stride_alloc->startAddr, stride_alloc->stride,
+                       now, outcome);
     }
 
     return outcome;

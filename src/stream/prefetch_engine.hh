@@ -166,7 +166,15 @@ class PrefetchEngine
 
   private:
     StreamSet &setFor(const MemAccess &access);
-    void accountAllocation(const StreamAllocation &alloc);
+
+    /**
+     * Reallocate a stream of @p set at @p start with @p stride,
+     * issuing prefetches into lastIssued_ (which the caller has
+     * cleared) and folding the accounting into @p outcome.
+     */
+    void allocateStream(StreamSet &set, Addr start, std::int64_t stride,
+                        std::uint64_t now, EngineOutcome &outcome);
+
     void recordRun(const StreamFlush &flushed);
 
     StreamEngineConfig config_;

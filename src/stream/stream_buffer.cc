@@ -25,7 +25,7 @@ StreamBuffer::issuePrefetch(std::uint64_t now)
     nextAddr_ += static_cast<Addr>(stride_);
     lastBlock_ = block;
 
-    std::uint32_t slot = (head_ + count_) % depth_;
+    std::uint32_t slot = wrap(head_ + count_);
     entries_[slot] = {block, now, true};
     ++count_;
     return block;
@@ -50,23 +50,13 @@ StreamBuffer::allocate(Addr miss_addr, std::int64_t stride_bytes,
     return flushed;
 }
 
-bool
-StreamBuffer::probeHead(Addr a) const
-{
-    if (!active_ || count_ == 0)
-        return false;
-    const Entry &head = entries_[head_];
-    return head.valid && head.block == mapper_.blockBase(a);
-}
-
 int
-StreamBuffer::probeAny(Addr a) const
+StreamBuffer::probeAnyBlock(BlockAddr block) const
 {
     if (!active_)
         return -1;
-    BlockAddr block = mapper_.blockBase(a);
     for (std::uint32_t i = 0; i < count_; ++i) {
-        const Entry &e = entries_[(head_ + i) % depth_];
+        const Entry &e = entries_[wrap(head_ + i)];
         if (e.valid && e.block == block)
             return static_cast<int>(i);
     }
@@ -83,7 +73,7 @@ StreamBuffer::consumeHead(std::uint64_t now)
     result.issueTick = entries_[head_].issueTick;
 
     entries_[head_].valid = false;
-    head_ = (head_ + 1) % depth_;
+    head_ = wrap(head_ + 1);
     --count_;
     ++hitRun_;
 
@@ -105,7 +95,7 @@ StreamBuffer::consumeAt(int position, std::uint64_t now,
         if (e.valid)
             ++skipped_out;
         e.valid = false;
-        head_ = (head_ + 1) % depth_;
+        head_ = wrap(head_ + 1);
         --count_;
     }
 
@@ -113,7 +103,7 @@ StreamBuffer::consumeAt(int position, std::uint64_t now,
     result.block = entries_[head_].block;
     result.issueTick = entries_[head_].issueTick;
     entries_[head_].valid = false;
-    head_ = (head_ + 1) % depth_;
+    head_ = wrap(head_ + 1);
     --count_;
     ++hitRun_;
 
@@ -132,7 +122,7 @@ StreamBuffer::invalidate(BlockAddr block)
         return 0;
     std::uint32_t n = 0;
     for (std::uint32_t i = 0; i < count_; ++i) {
-        Entry &e = entries_[(head_ + i) % depth_];
+        Entry &e = entries_[wrap(head_ + i)];
         if (e.valid && e.block == block) {
             e.valid = false;
             ++n;
@@ -148,7 +138,7 @@ StreamBuffer::drain()
     result.wasActive = active_;
     result.hitRun = hitRun_;
     for (std::uint32_t i = 0; i < count_; ++i) {
-        Entry &e = entries_[(head_ + i) % depth_];
+        Entry &e = entries_[wrap(head_ + i)];
         if (e.valid)
             ++result.uselessPrefetches;
         e.valid = false;

@@ -82,14 +82,28 @@ class StreamBuffer
                          std::vector<BlockAddr> &issued_out);
 
     /** True when the valid head entry holds the block containing @p a. */
-    bool probeHead(Addr a) const;
+    bool probeHead(Addr a) const { return probeHeadBlock(mapper_.blockBase(a)); }
+
+    /** As probeHead() for a pre-computed block base address, so a
+     *  caller probing many streams converts the address once. */
+    bool
+    probeHeadBlock(BlockAddr block) const
+    {
+        if (!active_ || count_ == 0)
+            return false;
+        const Entry &head = entries_[head_];
+        return head.valid && head.block == block;
+    }
 
     /**
      * Position (0 = head) of the valid entry holding the block of
      * @p a, or -1. Models Jouppi's quasi-sequential buffers, which
      * compare against every entry instead of just the head.
      */
-    int probeAny(Addr a) const;
+    int probeAny(Addr a) const { return probeAnyBlock(mapper_.blockBase(a)); }
+
+    /** As probeAny() for a pre-computed block base address. */
+    int probeAnyBlock(BlockAddr block) const;
 
     /**
      * Pop the head (a stream hit) and prefetch one replacement block
@@ -127,6 +141,15 @@ class StreamBuffer
 
     /** Issue one prefetch at the tail; returns the block prefetched. */
     BlockAddr issuePrefetch(std::uint64_t now);
+
+    /** Reduce an index in [0, 2*depth_) into the circular buffer
+     *  without the modulo (depth is tiny but not a power of two in
+     *  general, so % would be a hardware divide on the hit path). */
+    std::uint32_t
+    wrap(std::uint32_t i) const
+    {
+        return i >= depth_ ? i - depth_ : i;
+    }
 
     BlockMapper mapper_;
     std::uint32_t depth_;

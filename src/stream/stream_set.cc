@@ -7,7 +7,8 @@ namespace sbsim {
 StreamSet::StreamSet(std::uint32_t num_streams, std::uint32_t depth,
                      std::uint32_t block_size,
                      StreamReplacement replacement)
-    : numStreams_(num_streams),
+    : mapper_(block_size),
+      numStreams_(num_streams),
       replacement_(replacement),
       lastUse_(num_streams, 0)
 {
@@ -21,8 +22,12 @@ StreamLookup
 StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
 {
     StreamLookup result;
+    // Convert to a block base once; every stream comparator sees the
+    // same block address (one adder feeding all comparators, as in
+    // the hardware).
+    BlockAddr block = mapper_.blockBase(a);
     for (std::uint32_t i = 0; i < numStreams_; ++i) {
-        if (streams_[i].probeHead(a)) {
+        if (streams_[i].probeHeadBlock(block)) {
             result.hit = true;
             result.stream = i;
             result.consume = streams_[i].consumeHead(now);
@@ -32,7 +37,7 @@ StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
     }
     if (associative) {
         for (std::uint32_t i = 0; i < numStreams_; ++i) {
-            int pos = streams_[i].probeAny(a);
+            int pos = streams_[i].probeAnyBlock(block);
             if (pos >= 0) {
                 result.hit = true;
                 result.stream = i;
@@ -82,11 +87,21 @@ StreamSet::allocate(Addr miss_addr, std::int64_t stride_bytes,
                     std::uint64_t now)
 {
     StreamAllocation result;
-    result.stream = victimStream();
-    result.flushed = streams_[result.stream].allocate(
-        miss_addr, stride_bytes, now, result.issued);
-    lastUse_[result.stream] = ++tick_;
+    result.stream = allocate(miss_addr, stride_bytes, now, result.issued,
+                             result.flushed);
     return result;
+}
+
+std::uint32_t
+StreamSet::allocate(Addr miss_addr, std::int64_t stride_bytes,
+                    std::uint64_t now, std::vector<BlockAddr> &issued_out,
+                    StreamFlush &flushed_out)
+{
+    std::uint32_t victim = victimStream();
+    flushed_out =
+        streams_[victim].allocate(miss_addr, stride_bytes, now, issued_out);
+    lastUse_[victim] = ++tick_;
+    return victim;
 }
 
 std::uint32_t

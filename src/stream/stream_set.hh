@@ -92,6 +92,17 @@ class StreamSet
                               std::uint64_t now);
 
     /**
+     * As allocate(), but appends the issued prefetches to
+     * @p issued_out so a caller on the per-miss hot path can reuse one
+     * buffer instead of receiving a freshly allocated vector.
+     * @return the stream that was reallocated.
+     */
+    std::uint32_t allocate(Addr miss_addr, std::int64_t stride_bytes,
+                           std::uint64_t now,
+                           std::vector<BlockAddr> &issued_out,
+                           StreamFlush &flushed_out);
+
+    /**
      * Invalidate stale copies of @p block in every stream (write-back
      * passing by on its way to memory).
      * @return number of entries invalidated.
@@ -107,6 +118,7 @@ class StreamSet
   private:
     std::uint32_t victimStream();
 
+    BlockMapper mapper_;
     std::uint32_t numStreams_;
     StreamReplacement replacement_;
     std::vector<StreamBuffer> streams_;

@@ -25,7 +25,8 @@ UnitStrideFilter::onStreamMiss(std::uint64_t miss_block)
     }
     // Record the expectation of a reference to the following block.
     slots_[nextVictim_] = {miss_block + 1, true};
-    nextVictim_ = (nextVictim_ + 1) % slots_.size();
+    if (++nextVictim_ == slots_.size())
+        nextVictim_ = 0;
     return false;
 }
 

@@ -138,6 +138,41 @@ TraceReader::next(MemAccess &out)
     return true;
 }
 
+std::size_t
+TraceReader::nextBatch(MemAccess *out, std::size_t max)
+{
+    // One read() per batch instead of one per record; the stream's own
+    // buffer then serves the per-record decode directly.
+    constexpr std::size_t kChunkRecords = 512;
+    std::array<char, kChunkRecords * kRecordSize> raw;
+    std::size_t n = 0;
+    while (n < max && pos_ < count_) {
+        std::size_t want =
+            std::min({max - n, kChunkRecords,
+                      static_cast<std::size_t>(count_ - pos_)});
+        in_.read(raw.data(),
+                 static_cast<std::streamsize>(want * kRecordSize));
+        auto got_bytes = static_cast<std::size_t>(in_.gcount());
+        std::size_t got = got_bytes / kRecordSize;
+        for (std::size_t i = 0; i < got; ++i) {
+            std::array<char, kRecordSize> buf;
+            std::memcpy(buf.data(), raw.data() + i * kRecordSize,
+                        kRecordSize);
+            if (!decodeRecord(buf, out[n + i]))
+                SBSIM_FATAL("corrupt record ", pos_ + i, " in ", path_);
+        }
+        pos_ += got;
+        n += got;
+        if (got < want) {
+            SBSIM_WARN("trace file ", path_, " truncated at record ",
+                       pos_);
+            pos_ = count_;
+            break;
+        }
+    }
+    return n;
+}
+
 void
 TraceReader::reset()
 {

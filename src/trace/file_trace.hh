@@ -62,6 +62,7 @@ class TraceReader : public TraceSource
     explicit TraceReader(const std::string &path);
 
     bool next(MemAccess &out) override;
+    std::size_t nextBatch(MemAccess *out, std::size_t max) override;
     void reset() override;
 
     /** Total records according to the header. */

@@ -9,6 +9,8 @@
 #ifndef STREAMSIM_TRACE_SOURCE_HH
 #define STREAMSIM_TRACE_SOURCE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -29,6 +31,29 @@ class TraceSource
      */
     virtual bool next(MemAccess &out) = 0;
 
+    /**
+     * Produce up to @p max references into @p out.
+     *
+     * The batched path exists purely for throughput: consumers like
+     * MemorySystem::run pay one virtual dispatch per batch instead of
+     * one per reference. The sequence delivered must be exactly the
+     * sequence next() would deliver — the default implementation
+     * guarantees that by calling next(), and hot sources override it
+     * with bulk copies under the same contract.
+     *
+     * @return the number of references produced; 0 means exhausted
+     *         (a source must not return 0 while next() would still
+     *         succeed).
+     */
+    virtual std::size_t
+    nextBatch(MemAccess *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
     /** Rewind to the beginning, if the source supports it. */
     virtual void reset() = 0;
 };
@@ -48,6 +73,17 @@ class VectorSource : public TraceSource
             return false;
         out = accesses_[pos_++];
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        std::size_t n = std::min(max, accesses_.size() - pos_);
+        std::copy_n(accesses_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_),
+                    n, out);
+        pos_ += n;
+        return n;
     }
 
     void reset() override { pos_ = 0; }
@@ -81,6 +117,12 @@ class OwningSourceChain : public TraceSource
     next(MemAccess &out) override
     {
         return !links_.empty() && links_.back()->next(out);
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        return links_.empty() ? 0 : links_.back()->nextBatch(out, max);
     }
 
     void

@@ -55,6 +55,34 @@ class TimeSampler : public TraceSource
         }
     }
 
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        std::size_t n = 0;
+        while (n < max) {
+            if (inWindow_ == onCount_) {
+                // Skip the off window.
+                MemAccess dropped;
+                for (std::uint64_t i = 0; i < offCount_; ++i) {
+                    if (!src_.next(dropped))
+                        return n;
+                    ++skipped_;
+                }
+                inWindow_ = 0;
+            }
+            // Pull the rest of the on window in one batched read.
+            std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(max - n, onCount_ - inWindow_));
+            std::size_t got = src_.nextBatch(out + n, want);
+            inWindow_ += got;
+            sampled_ += got;
+            n += got;
+            if (got < want)
+                return n;
+        }
+        return n;
+    }
+
     void
     reset() override
     {
@@ -93,6 +121,16 @@ class TruncatingSource : public TraceSource
             return false;
         ++emitted_;
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max, limit_ - emitted_));
+        std::size_t got = src_.nextBatch(out, want);
+        emitted_ += got;
+        return got;
     }
 
     void

@@ -11,12 +11,15 @@ ComposedWorkload::ComposedWorkload(WorkloadSpec spec)
     SBSIM_ASSERT(!spec_.ops.empty(), "workload '", spec_.name,
                  "' has no ops");
     ifetchPC_ = spec_.codeBase;
+    if (isPowerOf2(spec_.loopBodyBytes))
+        loopMask_ = spec_.loopBodyBytes - 1;
 }
 
 void
 ComposedWorkload::reset()
 {
     buffer_.clear();
+    readPos_ = 0;
     step_ = 0;
     opIdx_ = 0;
     iter_ = 0;
@@ -28,7 +31,7 @@ ComposedWorkload::reset()
     gatherFuture_.clear();
     burstAddr_ = 0;
     ifetchPC_ = spec_.codeBase;
-    hotCursor_ = 0;
+    hotOffset_ = 0;
     noiseCountdown_ = 0;
     exhausted_ = false;
 }
@@ -36,13 +39,37 @@ ComposedWorkload::reset()
 bool
 ComposedWorkload::next(MemAccess &out)
 {
-    while (buffer_.empty()) {
+    while (readPos_ == buffer_.size()) {
+        buffer_.clear();
+        readPos_ = 0;
         if (!generateMore())
             return false;
     }
-    out = buffer_.front();
-    buffer_.pop_front();
+    out = buffer_[readPos_++];
     return true;
+}
+
+std::size_t
+ComposedWorkload::nextBatch(MemAccess *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max) {
+        if (readPos_ == buffer_.size()) {
+            buffer_.clear();
+            readPos_ = 0;
+            if (!generateMore())
+                break;
+            continue; // An op step may emit nothing (op boundaries).
+        }
+        // Drain whatever the interpreter buffered in one bulk copy.
+        std::size_t take = std::min(max - n, buffer_.size() - readPos_);
+        std::copy_n(buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(readPos_),
+                    take, out + n);
+        readPos_ += take;
+        n += take;
+    }
+    return n;
 }
 
 void
@@ -55,13 +82,17 @@ ComposedWorkload::emitPattern(Addr addr, AccessType type, std::uint8_t size,
         if (ifetchPC_ >= spec_.codeBase + spec_.loopBodyBytes)
             ifetchPC_ = spec_.codeBase;
     }
-    // A stable pseudo-PC per static instruction slot.
-    Addr pc = spec_.codeBase +
-              (static_cast<Addr>(pc_salt) * 4) % spec_.loopBodyBytes;
+    // A stable pseudo-PC per static instruction slot. Loop bodies are
+    // almost always power-of-two sized; mask instead of divide then.
+    Addr salt_bytes = static_cast<Addr>(pc_salt) * 4;
+    Addr pc = spec_.codeBase + (loopMask_ ? (salt_bytes & loopMask_)
+                                          : salt_bytes % spec_.loopBodyBytes);
     buffer_.push_back({addr, pc, type, size});
     for (std::uint32_t i = 0; i < spec_.hotPerAccess; ++i) {
-        Addr hot = spec_.hotBase + (hotCursor_ * 8) % spec_.hotBytes;
-        ++hotCursor_;
+        Addr hot = spec_.hotBase + hotOffset_;
+        hotOffset_ += 8;
+        while (hotOffset_ >= spec_.hotBytes)
+            hotOffset_ -= spec_.hotBytes;
         buffer_.push_back(makeLoad(hot, 8, spec_.codeBase + 4088));
     }
     if (spec_.noiseEvery != 0) {

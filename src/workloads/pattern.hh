@@ -147,6 +147,15 @@ class ComposedWorkload : public TraceSource
     explicit ComposedWorkload(WorkloadSpec spec);
 
     bool next(MemAccess &out) override;
+
+    /**
+     * Batched delivery shared by every benchmark generator: the
+     * interpreter refills the internal buffer op-step by op-step, and
+     * the batch drains it in bulk copies instead of per-reference
+     * pop_front calls.
+     */
+    std::size_t nextBatch(MemAccess *out, std::size_t max) override;
+
     void reset() override;
 
     const WorkloadSpec &spec() const { return spec_; }
@@ -176,7 +185,14 @@ class ComposedWorkload : public TraceSource
     bool stepBurst(const BurstOp &op);
 
     WorkloadSpec spec_;
-    std::deque<MemAccess> buffer_;
+    /**
+     * Generated-but-undelivered references. A flat vector with a read
+     * cursor, not a deque: the interpreter only refills once the
+     * buffer is fully drained, so consumption is an index bump (or one
+     * bulk copy in nextBatch) and refilling starts from clear().
+     */
+    std::vector<MemAccess> buffer_;
+    std::size_t readPos_ = 0;
 
     // Interpreter state.
     std::uint64_t step_ = 0;
@@ -197,7 +213,11 @@ class ComposedWorkload : public TraceSource
 
     // Filler state.
     Addr ifetchPC_ = 0;
-    std::uint64_t hotCursor_ = 0;
+    /** Byte offset of the next hot access: kept incrementally (the
+     *  same value as (accesses * 8) % hotBytes, without the divide). */
+    std::uint64_t hotOffset_ = 0;
+    /** loopBodyBytes - 1 when it is a power of two, else 0 (use %). */
+    std::uint64_t loopMask_ = 0;
     std::uint32_t noiseCountdown_ = 0;
     bool exhausted_ = false;
 };

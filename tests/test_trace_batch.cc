@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Differential tests for TraceSource::nextBatch: for every source
+ * type, the batched path must deliver the exact sequence next()
+ * delivers — across batch boundaries, for awkward batch sizes, and
+ * again after reset(). MemorySystem::run consumes references through
+ * nextBatch, so these pins are what keep the batched simulation
+ * bit-identical to the serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/file_trace.hh"
+#include "trace/source.hh"
+#include "trace/time_sampler.hh"
+#include "workloads/benchmark.hh"
+#include "workloads/pattern.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** Drain @p src one reference at a time via next(). */
+std::vector<MemAccess>
+drainSerial(TraceSource &src)
+{
+    std::vector<MemAccess> out;
+    MemAccess a;
+    while (src.next(a))
+        out.push_back(a);
+    return out;
+}
+
+/** Drain @p src through nextBatch with a fixed batch size. */
+std::vector<MemAccess>
+drainBatched(TraceSource &src, std::size_t batch_size)
+{
+    std::vector<MemAccess> out;
+    std::vector<MemAccess> batch(batch_size);
+    std::size_t got;
+    while ((got = src.nextBatch(batch.data(), batch_size)) > 0) {
+        EXPECT_LE(got, batch_size) << "nextBatch overran the buffer";
+        out.insert(out.end(), batch.begin(),
+                   batch.begin() + static_cast<std::ptrdiff_t>(got));
+    }
+    return out;
+}
+
+/**
+ * The core differential: serial and batched drains of @p src must
+ * agree for batch sizes that divide the trace, that don't, and that
+ * exceed it; and a reset() must restart the batched sequence from the
+ * top.
+ */
+void
+expectBatchedMatchesSerial(TraceSource &src)
+{
+    src.reset();
+    std::vector<MemAccess> serial = drainSerial(src);
+    ASSERT_FALSE(serial.empty()) << "fixture produced an empty trace";
+
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{7}, std::size_t{64},
+                                   serial.size() + 13}) {
+        src.reset();
+        std::vector<MemAccess> batched = drainBatched(src, batch_size);
+        ASSERT_EQ(batched.size(), serial.size())
+            << "batch size " << batch_size;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_TRUE(batched[i] == serial[i])
+                << "batch size " << batch_size << ", reference " << i;
+        }
+        // Exhausted for good: further calls keep returning 0.
+        MemAccess extra;
+        EXPECT_EQ(src.nextBatch(&extra, 1), 0u);
+        EXPECT_FALSE(src.next(extra));
+    }
+
+    // Mixed-granularity consumption: alternate next() and nextBatch()
+    // against the serial reference sequence.
+    src.reset();
+    std::vector<MemAccess> mixed;
+    MemAccess one;
+    std::vector<MemAccess> chunk(5);
+    for (;;) {
+        if (mixed.size() % 3 == 0) {
+            std::size_t got = src.nextBatch(chunk.data(), chunk.size());
+            if (got == 0)
+                break;
+            mixed.insert(mixed.end(), chunk.begin(),
+                         chunk.begin() + static_cast<std::ptrdiff_t>(got));
+        } else {
+            if (!src.next(one))
+                break;
+            mixed.push_back(one);
+        }
+    }
+    ASSERT_EQ(mixed.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_TRUE(mixed[i] == serial[i]) << "mixed drain, reference " << i;
+}
+
+std::vector<MemAccess>
+syntheticTrace(std::size_t n)
+{
+    std::vector<MemAccess> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr a = 0x1000 + 40 * static_cast<Addr>(i);
+        switch (i % 3) {
+          case 0: v.push_back(makeLoad(a)); break;
+          case 1: v.push_back(makeStore(a, 4)); break;
+          default: v.push_back(makeIfetch(0x40 + 4 * (i % 16))); break;
+        }
+    }
+    return v;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+TEST(TraceBatch, VectorSource)
+{
+    VectorSource src(syntheticTrace(517));
+    expectBatchedMatchesSerial(src);
+}
+
+TEST(TraceBatch, FileTraceReader)
+{
+    std::string path = tempPath("sbsim_batch.trace");
+    {
+        TraceWriter writer(path);
+        for (const MemAccess &a : syntheticTrace(1291))
+            writer.append(a);
+    }
+    TraceReader src(path);
+    expectBatchedMatchesSerial(src);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceBatch, TimeSampler)
+{
+    // Windows deliberately misaligned with every batch size used by
+    // the differential, so batches straddle on/off boundaries.
+    VectorSource base(syntheticTrace(4001));
+    TimeSampler src(base, /*on_count=*/37, /*off_count=*/23);
+    expectBatchedMatchesSerial(src);
+}
+
+TEST(TraceBatch, TruncatingSource)
+{
+    VectorSource base(syntheticTrace(700));
+    TruncatingSource src(base, /*limit=*/333);
+    expectBatchedMatchesSerial(src);
+}
+
+TEST(TraceBatch, SamplerOverTruncationStack)
+{
+    // The composition the CLI builds: workload -> truncate -> sample.
+    const Benchmark &bench = findBenchmark("mgrid");
+    auto chain = std::make_unique<OwningSourceChain>();
+    TraceSource &workload =
+        chain->add(bench.makeWorkload(ScaleLevel::SMALL));
+    TraceSource &limited = chain->add(
+        std::make_unique<TruncatingSource>(workload, 20000));
+    chain->add(std::make_unique<TimeSampler>(limited, 501, 299));
+    expectBatchedMatchesSerial(*chain);
+}
+
+TEST(TraceBatch, OwningSourceChainEmpty)
+{
+    OwningSourceChain chain;
+    MemAccess a;
+    EXPECT_EQ(chain.nextBatch(&a, 1), 0u);
+    EXPECT_FALSE(chain.next(a));
+}
+
+TEST(TraceBatch, EveryBenchmarkGenerator)
+{
+    // Every workload generator in the registry, at the small scale,
+    // truncated so the whole suite stays fast. The truncation cap is
+    // prime so batch boundaries never line up with op boundaries.
+    for (const Benchmark &bench : allBenchmarks()) {
+        SCOPED_TRACE(bench.name);
+        auto workload = bench.makeWorkload(ScaleLevel::SMALL);
+        TruncatingSource limited(*workload, 9973);
+        expectBatchedMatchesSerial(limited);
+    }
+}
+
+TEST(TraceBatch, ComposedWorkloadDirect)
+{
+    // The generator itself (no truncation): the batched drain must
+    // also agree on where the workload *ends*.
+    WorkloadSpec spec;
+    spec.name = "batch-pin";
+    spec.timeSteps = 3;
+    spec.hotPerAccess = 2;
+    spec.hotBytes = 4096;
+    spec.ifetchPerAccess = 1;
+    spec.loopBodyBytes = 768; // Not a power of two: exercises the
+                              // modulo fallback for the pc salt.
+    SweepOp sweep;
+    sweep.count = 97;
+    sweep.segments = 2;
+    sweep.segmentStride = 4096;
+    sweep.streams = {{0x100000, 32}, {0x200000, 64, AccessType::STORE, 8}};
+    spec.ops.push_back(sweep);
+    GatherOp gather;
+    gather.idxBase = 0x300000;
+    gather.count = 151;
+    gather.dataBase = 0x400000;
+    gather.dataRangeBytes = 1 << 20;
+    spec.ops.push_back(gather);
+
+    ComposedWorkload src(spec);
+    expectBatchedMatchesSerial(src);
+}

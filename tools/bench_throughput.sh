@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Run the end-to-end throughput benchmarks and refresh the "current"
+# section of BENCH_throughput.json, preserving the pinned "baseline"
+# section so the file records the perf trajectory across PRs.
+#
+# Usage:
+#   tools/bench_throughput.sh [build-dir] [output.json]
+#
+# Environment:
+#   SMOKE=1   Quick CI mode: a very short soak and the result is
+#             written to a throwaway path by default. The numbers are
+#             not meaningful; the run only proves the harness works.
+set -eu
+
+build_dir="${1:-build}"
+if [ "${SMOKE:-0}" = "1" ]; then
+    out_json="${2:-bench_smoke.json}"
+    min_time=0.01
+else
+    out_json="${2:-BENCH_throughput.json}"
+    min_time=1
+fi
+bench_bin="$build_dir/bench/micro_throughput"
+
+if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "$raw_json"' EXIT
+
+"$bench_bin" \
+    --benchmark_filter='BM_MemorySystem|BM_RunBenchmark' \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$raw_json" \
+    --benchmark_out_format=json
+
+python3 - "$raw_json" "$out_json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+current = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    current[b["name"]] = {
+        "items_per_second": b.get("items_per_second"),
+        "real_time_ns": b.get("real_time")
+        * {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")],
+    }
+
+# Keep any pinned baseline from the existing file.
+doc = {"generated_by": "tools/bench_throughput.sh"}
+try:
+    with open(out_path) as f:
+        old = json.load(f)
+    if "baseline" in old:
+        doc["baseline"] = old["baseline"]
+except (OSError, ValueError):
+    pass
+doc["current"] = current
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+
+echo "wrote $out_json"
