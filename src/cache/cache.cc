@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.hh"
 #include "util/bitutil.hh"
 #include "util/logging.hh"
 
@@ -95,6 +96,28 @@ Cache::findWay(std::uint32_t set, Addr tag) const
     return -1;
 }
 
+void
+Cache::auditSet(std::uint32_t set) const
+{
+    SBSIM_ASSERT(set < numSets_, "audit of set ", set, " of ", numSets_);
+    SBSIM_ASSERT(mruWay_[set] < config_.assoc,
+                 "MRU hint ", mruWay_[set], " out of range in set ", set);
+    // Distinct valid tags: a duplicate means findWay's MRU-first probe
+    // order could return a different way than a linear scan, breaking
+    // hit/victim determinism.
+    for (std::uint32_t a = 0; a < config_.assoc; ++a) {
+        if (!lineAt(set, a).valid)
+            continue;
+        for (std::uint32_t b = a + 1; b < config_.assoc; ++b) {
+            SBSIM_ASSERT(!lineAt(set, b).valid ||
+                             lineAt(set, a).tag != lineAt(set, b).tag,
+                         "duplicate tag in set ", set, " ways ", a, "/",
+                         b);
+        }
+    }
+    policy_->auditSet(set);
+}
+
 std::uint32_t
 Cache::evictFrom(std::uint32_t set, CacheResult &result)
 {
@@ -109,6 +132,12 @@ Cache::evictFrom(std::uint32_t set, CacheResult &result)
     Line &line = lineAt(set, w);
     Addr victim_base = (line.tag << tagShift_) |
                        (static_cast<Addr>(set) << setShift_);
+    // The reconstruction must round-trip: a wrong tagShift_ would
+    // write back / invalidate a block the victim never was.
+    SBSIM_AUDIT(setIndex(victim_base) == set &&
+                    tagOf(victim_base) == line.tag,
+                "victim address ", victim_base,
+                " does not map back to set ", set);
     result.victimEvicted = true;
     result.victimAddr = victim_base;
     if (line.dirty && config_.writeBack) {
@@ -142,6 +171,9 @@ Cache::access(const MemAccess &access)
             // Write-through would send the word to memory; traffic for
             // that mode is accounted by the caller.
         }
+#ifdef STREAMSIM_CHECKED
+        auditSet(set);
+#endif
         return result;
     }
 
@@ -160,6 +192,9 @@ Cache::access(const MemAccess &access)
     if (policyTracksFill_)
         policy_->fill(set, fill_way);
     result.filled = true;
+#ifdef STREAMSIM_CHECKED
+    auditSet(set);
+#endif
     return result;
 }
 
@@ -189,6 +224,9 @@ Cache::fill(Addr a, bool dirty)
     if (policyTracksFill_)
         policy_->fill(set, fill_way);
     result.filled = true;
+#ifdef STREAMSIM_CHECKED
+    auditSet(set);
+#endif
     return result;
 }
 

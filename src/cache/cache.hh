@@ -128,6 +128,13 @@ class Cache
     /** Evict into @p result and return the way that became free. */
     std::uint32_t evictFrom(std::uint32_t set, CacheResult &result);
 
+    /**
+     * Structural invariant walk over @p set (checked builds only; see
+     * util/audit.hh): MRU hint in range, no duplicate valid tags, and
+     * the replacement policy's own per-set state consistent.
+     */
+    void auditSet(std::uint32_t set) const;
+
     CacheConfig config_;
     std::string name_;
     BlockMapper mapper_;

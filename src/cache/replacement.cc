@@ -42,6 +42,28 @@ LruPolicy::reset()
     std::fill(lastUse_.begin(), lastUse_.end(), 0);
 }
 
+void
+LruPolicy::auditSet(std::uint32_t set) const
+{
+    // The nonzero timestamps of a set must be a strict ordering: each
+    // touch/fill assigns a fresh ++tick_, so duplicates or values
+    // beyond tick_ mean the LRU stack is corrupt and victim() would
+    // return an arbitrary way.
+    std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t a = 0; a < ways_; ++a) {
+        std::uint64_t ta = lastUse_[base + a];
+        SBSIM_ASSERT(ta <= tick_, "LRU timestamp ", ta,
+                     " ahead of clock ", tick_, " in set ", set);
+        if (ta == 0)
+            continue;
+        for (std::uint32_t b = a + 1; b < ways_; ++b) {
+            SBSIM_ASSERT(lastUse_[base + b] != ta,
+                         "duplicate LRU timestamp ", ta, " in set ",
+                         set, " ways ", a, "/", b);
+        }
+    }
+}
+
 RandomPolicy::RandomPolicy(std::uint32_t sets, std::uint32_t ways,
                            std::uint64_t seed)
     : ways_(ways), seed_(seed), rng_(seed)
@@ -92,6 +114,26 @@ FifoPolicy::reset()
 {
     tick_ = 0;
     std::fill(fillTick_.begin(), fillTick_.end(), 0);
+}
+
+void
+FifoPolicy::auditSet(std::uint32_t set) const
+{
+    // Same strict-ordering argument as LruPolicy::auditSet, over fill
+    // order instead of use order.
+    std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t a = 0; a < ways_; ++a) {
+        std::uint64_t ta = fillTick_[base + a];
+        SBSIM_ASSERT(ta <= tick_, "FIFO timestamp ", ta,
+                     " ahead of clock ", tick_, " in set ", set);
+        if (ta == 0)
+            continue;
+        for (std::uint32_t b = a + 1; b < ways_; ++b) {
+            SBSIM_ASSERT(fillTick_[base + b] != ta,
+                         "duplicate FIFO timestamp ", ta, " in set ",
+                         set, " ways ", a, "/", b);
+        }
+    }
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -58,6 +58,12 @@ class ReplacementPolicy
     virtual std::uint32_t victim(std::uint32_t set) = 0;
 
     virtual void reset() = 0;
+
+    /**
+     * Validate internal per-set state (checked builds; see
+     * util/audit.hh). Stateless policies have nothing to check.
+     */
+    virtual void auditSet(std::uint32_t set) const { (void)set; }
 };
 
 /** Least-recently-used, via per-way last-use timestamps. */
@@ -70,6 +76,7 @@ class LruPolicy : public ReplacementPolicy
     void fill(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
     void reset() override;
+    void auditSet(std::uint32_t set) const override;
 
   private:
     std::uint32_t ways_;
@@ -105,6 +112,7 @@ class FifoPolicy : public ReplacementPolicy
     void fill(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
     void reset() override;
+    void auditSet(std::uint32_t set) const override;
 
   private:
     std::uint32_t ways_;

@@ -1,5 +1,6 @@
 #include "memory_system.hh"
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -187,8 +188,18 @@ MemorySystem::run(TraceSource &src)
     std::uint64_t n = 0;
     std::size_t got;
     while ((got = src.nextBatch(batch, kRunBatch)) > 0) {
+        SBSIM_AUDIT(got <= kRunBatch, "source over-delivered: ", got);
+#ifdef STREAMSIM_CHECKED
+        std::uint64_t cycles_before = cycles_;
+#endif
         for (std::size_t i = 0; i < got; ++i)
             processAccess(batch[i]);
+        // Simulated time is monotonic: every reference costs at least
+        // its hit latency, so a batch can never move the clock
+        // backwards (a regression here would corrupt every prefetch
+        // issue timestamp downstream of the TimeSampler).
+        SBSIM_AUDIT(cycles_ >= cycles_before,
+                    "cycle clock ran backwards across a batch");
         n += got;
     }
     return n;

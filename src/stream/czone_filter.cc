@@ -1,5 +1,6 @@
 #include "czone_filter.hh"
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -44,12 +45,32 @@ CzoneFilter::victim()
     return *best;
 }
 
+void
+CzoneFilter::auditState() const
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &a = slots_[i];
+        if (!a.valid)
+            continue;
+        SBSIM_ASSERT(a.tick <= tick_, "czone slot ", i, " tick ",
+                     a.tick, " ahead of clock ", tick_);
+        for (std::size_t j = i + 1; j < slots_.size(); ++j) {
+            SBSIM_ASSERT(!slots_[j].valid || slots_[j].tag != a.tag,
+                         "duplicate czone partition tag in slots ", i,
+                         "/", j);
+        }
+    }
+}
+
 std::optional<StrideAllocation>
 CzoneFilter::onMiss(Addr a)
 {
     ++lookups_;
     Addr tag = tagOf(a);
     Slot *slot = find(tag);
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
 
     if (!slot) {
         // INVALID -> META1: start tracking this partition.

@@ -85,6 +85,13 @@ class CzoneFilter
     Slot *find(Addr tag);
     Slot &victim();
 
+    /**
+     * Structural invariant walk (checked builds only; see
+     * util/audit.hh): valid partitions have distinct tags (find()
+     * assumes at most one match) and LRU ticks bounded by the clock.
+     */
+    void auditState() const;
+
     std::vector<Slot> slots_;
     unsigned czoneBits_;
     std::uint64_t tick_ = 0;

@@ -1,5 +1,6 @@
 #include "stream_buffer.hh"
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -8,6 +9,40 @@ StreamBuffer::StreamBuffer(std::uint32_t depth, std::uint32_t block_size)
     : mapper_(block_size), depth_(depth), entries_(depth)
 {
     SBSIM_ASSERT(depth > 0, "stream depth must be nonzero");
+}
+
+void
+StreamBuffer::auditState() const
+{
+    SBSIM_ASSERT(head_ < depth_, "head ", head_, " out of range");
+    SBSIM_ASSERT(count_ <= depth_, "count ", count_, " over depth ",
+                 depth_);
+    SBSIM_ASSERT(active_ || count_ == 0,
+                 "inactive stream holds ", count_, " entries");
+    // The conditional-wrap fast path (wrap() instead of %) is only
+    // correct if indices stay in [0, 2*depth): walk every slot and
+    // check the window structure it is supposed to preserve.
+    for (std::uint32_t i = 0; i < depth_; ++i) {
+        // Is slot i inside the circular window [head_, head_+count_)?
+        std::uint32_t offset = i >= head_ ? i - head_ : i + depth_ - head_;
+        bool in_window = offset < count_;
+        if (!in_window) {
+            SBSIM_ASSERT(!entries_[i].valid, "valid entry at slot ", i,
+                         " outside window [", head_, ", ", head_, "+",
+                         count_, ")");
+        }
+    }
+    for (std::uint32_t i = 0; i < count_; ++i) {
+        const Entry &a = entries_[wrap(head_ + i)];
+        if (!a.valid)
+            continue;
+        for (std::uint32_t j = i + 1; j < count_; ++j) {
+            const Entry &b = entries_[wrap(head_ + j)];
+            SBSIM_ASSERT(!b.valid || a.block != b.block,
+                         "duplicate block ", a.block,
+                         " in stream FIFO positions ", i, "/", j);
+        }
+    }
 }
 
 BlockAddr
@@ -47,6 +82,9 @@ StreamBuffer::allocate(Addr miss_addr, std::int64_t stride_bytes,
 
     for (std::uint32_t i = 0; i < depth_; ++i)
         issued_out.push_back(issuePrefetch(now));
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return flushed;
 }
 
@@ -79,6 +117,9 @@ StreamBuffer::consumeHead(std::uint64_t now)
 
     result.refillBlock = issuePrefetch(now);
     result.refillIssued = true;
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return result;
 }
 
@@ -112,6 +153,9 @@ StreamBuffer::consumeAt(int position, std::uint64_t now,
     result.refillIssued = true;
     while (count_ < depth_)
         result.extraRefills.push_back(issuePrefetch(now));
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return result;
 }
 
@@ -128,6 +172,9 @@ StreamBuffer::invalidate(BlockAddr block)
             ++n;
         }
     }
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return n;
 }
 
@@ -148,6 +195,9 @@ StreamBuffer::drain()
     active_ = false;
     stride_ = 0;
     hitRun_ = 0;
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return result;
 }
 

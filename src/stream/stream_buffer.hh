@@ -142,6 +142,14 @@ class StreamBuffer
     /** Issue one prefetch at the tail; returns the block prefetched. */
     BlockAddr issuePrefetch(std::uint64_t now);
 
+    /**
+     * Structural invariant walk (checked builds only; see
+     * util/audit.hh): head/count within range, inactive implies empty,
+     * entries outside the [head, head+count) window invalid, and valid
+     * window entries pairwise-distinct cache blocks.
+     */
+    void auditState() const;
+
     /** Reduce an index in [0, 2*depth_) into the circular buffer
      *  without the modulo (depth is tiny but not a power of two in
      *  general, so % would be a hardware divide on the hit path). */

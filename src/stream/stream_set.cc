@@ -1,5 +1,6 @@
 #include "stream_set.hh"
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -18,6 +19,28 @@ StreamSet::StreamSet(std::uint32_t num_streams, std::uint32_t depth,
         streams_.emplace_back(depth, block_size);
 }
 
+void
+StreamSet::auditState() const
+{
+    SBSIM_ASSERT(streams_.size() == numStreams_, "stream bank resized");
+    SBSIM_ASSERT(nextVictim_ < numStreams_, "FIFO rotation pointer ",
+                 nextVictim_, " out of range");
+    // lastUse_ is the LRU stack as timestamps: values may not run
+    // ahead of the clock and nonzero values must be distinct, or
+    // victimStream() would reallocate an arbitrary stream.
+    for (std::uint32_t i = 0; i < numStreams_; ++i) {
+        SBSIM_ASSERT(lastUse_[i] <= tick_, "stream ", i,
+                     " timestamp ", lastUse_[i], " ahead of clock ",
+                     tick_);
+        if (lastUse_[i] == 0)
+            continue;
+        for (std::uint32_t j = i + 1; j < numStreams_; ++j) {
+            SBSIM_ASSERT(lastUse_[j] != lastUse_[i],
+                         "duplicate stream timestamps on ", i, "/", j);
+        }
+    }
+}
+
 StreamLookup
 StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
 {
@@ -32,6 +55,9 @@ StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
             result.stream = i;
             result.consume = streams_[i].consumeHead(now);
             lastUse_[i] = ++tick_;
+#ifdef STREAMSIM_CHECKED
+            auditState();
+#endif
             return result;
         }
     }
@@ -44,6 +70,9 @@ StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
                 result.consume =
                     streams_[i].consumeAt(pos, now, result.skipped);
                 lastUse_[i] = ++tick_;
+#ifdef STREAMSIM_CHECKED
+                auditState();
+#endif
                 return result;
             }
         }
@@ -101,6 +130,9 @@ StreamSet::allocate(Addr miss_addr, std::int64_t stride_bytes,
     flushed_out =
         streams_[victim].allocate(miss_addr, stride_bytes, now, issued_out);
     lastUse_[victim] = ++tick_;
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
     return victim;
 }
 

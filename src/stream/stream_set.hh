@@ -118,6 +118,13 @@ class StreamSet
   private:
     std::uint32_t victimStream();
 
+    /**
+     * Structural invariant walk (checked builds only; see
+     * util/audit.hh): LRU timestamps bounded by the clock and
+     * pairwise-distinct when nonzero, rotation pointer in range.
+     */
+    void auditState() const;
+
     BlockMapper mapper_;
     std::uint32_t numStreams_;
     StreamReplacement replacement_;

@@ -1,5 +1,6 @@
 #include "unit_filter.hh"
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -27,6 +28,13 @@ UnitStrideFilter::onStreamMiss(std::uint64_t miss_block)
     slots_[nextVictim_] = {miss_block + 1, true};
     if (++nextVictim_ == slots_.size())
         nextVictim_ = 0;
+    // FIFO replacement relies on the conditional wrap above keeping
+    // the rotation pointer inside the table.
+    SBSIM_AUDIT(nextVictim_ < slots_.size(),
+                "filter rotation pointer ", nextVictim_, " out of ",
+                slots_.size());
+    SBSIM_AUDIT(matches_.value() <= lookups_.value(),
+                "more matches than lookups");
     return false;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "trace/source.hh"
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -42,6 +43,9 @@ class TimeSampler : public TraceSource
                     return false;
                 ++inWindow_;
                 ++sampled_;
+                SBSIM_AUDIT(inWindow_ <= onCount_,
+                            "sampling window overran: ", inWindow_,
+                            " of ", onCount_);
                 return true;
             }
             // Skip the off window.
@@ -77,6 +81,14 @@ class TimeSampler : public TraceSource
             inWindow_ += got;
             sampled_ += got;
             n += got;
+            // Batched delivery must honour the same window accounting
+            // as the per-reference path: the on-window may never
+            // overrun, or the sampled stream diverges from serial.
+            SBSIM_AUDIT(inWindow_ <= onCount_,
+                        "batched sampling window overran: ", inWindow_,
+                        " of ", onCount_);
+            SBSIM_AUDIT(got <= want, "source over-delivered: ", got,
+                        " of ", want);
             if (got < want)
                 return n;
         }

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Checked-build invariant auditing.
+ *
+ * SBSIM_ASSERT guards cheap, always-on preconditions. SBSIM_AUDIT is
+ * its heavyweight sibling: structural invariant walks (LRU-stack
+ * permutations, FIFO occupancy, filter-table consistency) that are far
+ * too expensive for the per-reference hot path of a release build but
+ * cheap enough to run on every access of a test workload.
+ *
+ * Audits compile away entirely unless the build sets STREAMSIM_CHECKED
+ * (cmake -DSTREAMSIM_CHECKED=ON), so release binaries carry zero cost
+ * — not even the branch. Audit-only bookkeeping or helper code is
+ * wrapped in SBSIM_AUDIT_BLOCK so it vanishes with the checks and
+ * cannot drift into the hot path unnoticed.
+ *
+ * CI runs the full tier-1 suite with STREAMSIM_CHECKED=ON, so every
+ * fast-path shortcut (conditional wrap instead of modulo, MRU-first
+ * probing, dead policy-notification skipping) is revalidated against
+ * the structural definition it is meant to preserve on every run.
+ */
+
+#ifndef STREAMSIM_UTIL_AUDIT_HH
+#define STREAMSIM_UTIL_AUDIT_HH
+
+#include "util/logging.hh"
+
+#ifdef STREAMSIM_CHECKED
+
+/** Heavyweight invariant check; panics on violation (checked builds). */
+#define SBSIM_AUDIT(cond, ...) SBSIM_ASSERT(cond, __VA_ARGS__)
+
+/** Code that exists solely to feed SBSIM_AUDIT checks. */
+#define SBSIM_AUDIT_BLOCK(...) \
+    do { \
+        __VA_ARGS__ \
+    } while (0)
+
+namespace sbsim {
+/** True in STREAMSIM_CHECKED builds; for tests that assert auditing. */
+inline constexpr bool kAuditEnabled = true;
+} // namespace sbsim
+
+#else
+
+#define SBSIM_AUDIT(cond, ...) static_cast<void>(0)
+#define SBSIM_AUDIT_BLOCK(...) static_cast<void>(0)
+
+namespace sbsim {
+inline constexpr bool kAuditEnabled = false;
+} // namespace sbsim
+
+#endif // STREAMSIM_CHECKED
+
+#endif // STREAMSIM_UTIL_AUDIT_HH

@@ -15,7 +15,10 @@ class StderrSink : public LogSink
     void
     message(const std::string &severity, const std::string &text) override
     {
-        std::cerr << severity << ": " << text << std::endl;
+        // Diagnostics must survive an immediately following abort();
+        // '\n' plus an explicit flush is the endl without the idiom
+        // clang-tidy's performance-avoid-endl flags.
+        std::cerr << severity << ": " << text << '\n' << std::flush;
     }
 };
 

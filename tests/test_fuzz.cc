@@ -161,8 +161,9 @@ TEST_P(SystemFuzz, InvariantsHoldForArbitraryConfigurations)
 
     // Stream lookups are exactly the L1 misses not served by the
     // victim buffer.
-    if (out.engine.lookups > 0)
+    if (out.engine.lookups > 0) {
         EXPECT_EQ(out.engine.lookups, r.l1Misses - r.victimHits);
+    }
 
     // Timing sanity.
     EXPECT_GE(r.cycles, r.references);

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Run the end-to-end throughput benchmarks and refresh the "current"
 # section of BENCH_throughput.json, preserving the pinned "baseline"
 # section so the file records the perf trajectory across PRs.
@@ -10,9 +10,13 @@
 #   SMOKE=1   Quick CI mode: a very short soak and the result is
 #             written to a throwaway path by default. The numbers are
 #             not meaningful; the run only proves the harness works.
-set -eu
+set -euo pipefail
 
 build_dir="${1:-build}"
+if [ ! -d "$build_dir" ]; then
+    echo "error: build dir '$build_dir' does not exist (cmake -B $build_dir -S .)" >&2
+    exit 1
+fi
 if [ "${SMOKE:-0}" = "1" ]; then
     out_json="${2:-bench_smoke.json}"
     min_time=0.01

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Drive clang-tidy over the project's compile_commands.json.
+
+The CMake `tidy` target runs this; it can also be invoked by hand:
+
+    tools/run_tidy.py -p build [--clang-tidy clang-tidy-18] [paths...]
+
+Behaviour:
+  * Only first-party translation units (src/, tools/, bench/, tests/,
+    examples/) are checked; the compilation database may contain
+    generated or third-party entries which are skipped.
+  * Files are checked in parallel (one clang-tidy process per TU).
+  * The exit status is nonzero iff any diagnostic was emitted, so the
+    script is usable as a CI gate; .clang-tidy carries
+    WarningsAsErrors, this driver only aggregates.
+
+The checker binary is resolved from --clang-tidy, then $CLANG_TIDY,
+then a list of common versioned names. When none exists the script
+fails: the CMake target only wires this script up when a binary was
+found at configure time, so reaching this error means the environment
+changed under the build directory.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+CANDIDATE_NAMES = [
+    "clang-tidy",
+    "clang-tidy-21",
+    "clang-tidy-20",
+    "clang-tidy-19",
+    "clang-tidy-18",
+    "clang-tidy-17",
+    "clang-tidy-16",
+    "clang-tidy-15",
+    "clang-tidy-14",
+]
+
+
+def find_clang_tidy(explicit):
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        candidates.append(env)
+    candidates.extend(CANDIDATE_NAMES)
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def first_party_sources(build_dir, source_root):
+    """Yield absolute paths of first-party TUs from the compile DB."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {db_path}: {e} "
+                 "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+
+    roots = tuple(
+        os.path.join(os.path.realpath(source_root), d) + os.sep
+        for d in FIRST_PARTY_DIRS)
+    seen = set()
+    for entry in entries:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path in seen:
+            continue
+        seen.add(path)
+        if path.startswith(roots):
+            yield path
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        check=False,
+    )
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build directory with compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary to use")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--source-root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict the run to these files")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if not clang_tidy:
+        sys.exit("error: no clang-tidy binary found "
+                 "(tried --clang-tidy, $CLANG_TIDY, versioned names)")
+
+    source_root = args.source_root or os.path.dirname(
+        os.path.dirname(os.path.realpath(__file__)))
+    sources = sorted(first_party_sources(args.build_dir, source_root))
+    if args.paths:
+        wanted = {os.path.realpath(p) for p in args.paths}
+        sources = [s for s in sources if s in wanted]
+    if not sources:
+        sys.exit("error: no first-party sources found in the compile DB")
+
+    print(f"tidy: {len(sources)} translation units with {clang_tidy} "
+          f"(-j {args.jobs})")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, clang_tidy, args.build_dir, s)
+            for s in sources
+        ]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, out, err = fut.result()
+            rel = os.path.relpath(path, source_root)
+            if rc != 0 or out.strip():
+                failures += 1
+                print(f"tidy: FAIL {rel}")
+                if out.strip():
+                    print(out, end="" if out.endswith("\n") else "\n")
+                # clang-tidy writes "N warnings generated" noise to
+                # stderr even on success; only show it on failure.
+                if rc != 0 and err.strip():
+                    print(err, file=sys.stderr,
+                          end="" if err.endswith("\n") else "\n")
+
+    if failures:
+        print(f"tidy: {failures}/{len(sources)} files with diagnostics")
+        return 1
+    print(f"tidy: clean ({len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
