@@ -23,9 +23,12 @@ paperSystemConfig(std::uint32_t num_streams, AllocationPolicy allocation,
 RunOutput
 runOnce(TraceSource &src, const MemorySystemConfig &config)
 {
-    MemorySystem system(config);
-    system.run(src);
+    return runOnce(src, config, nullptr);
+}
 
+RunOutput
+collectOutput(MemorySystem &system)
+{
     RunOutput out;
     out.results = system.finish();
     if (const PrefetchEngine *engine = system.engine()) {
@@ -38,6 +41,93 @@ runOnce(TraceSource &src, const MemorySystemConfig &config)
     if (const VictimBuffer *vb = system.victimBuffer())
         out.victimHitRatePercent = vb->hitRatePercent();
     return out;
+}
+
+RunOutput
+runOnce(TraceSource &src, const MemorySystemConfig &config,
+        EventTrace *events)
+{
+    MemorySystem system(config);
+    if (events)
+        system.attachEventTrace(events);
+    system.run(src);
+    return collectOutput(system);
+}
+
+MetricsRegistry
+runMetrics(const RunOutput &out)
+{
+    const SystemResults &r = out.results;
+    const StreamEngineStats &es = out.engineStats;
+    MetricsRegistry reg;
+
+    reg.section("run")
+        .add("references", r.references)
+        .add("instruction_refs", r.instructionRefs)
+        .add("data_refs", r.dataRefs);
+
+    reg.section("l1")
+        .add("misses", r.l1Misses)
+        .add("data_misses", r.l1DataMisses)
+        .add("writebacks", r.writebacks)
+        .add("miss_rate_pct", r.l1MissRatePercent)
+        .add("data_miss_rate_pct", r.l1DataMissRatePercent)
+        .add("misses_per_instruction_pct",
+             r.missesPerInstructionPercent);
+
+    reg.section("streams")
+        .add("lookups", es.lookups)
+        .add("hits", es.hits)
+        .add("stream_misses", es.streamMisses)
+        .add("allocations", es.allocations)
+        .add("prefetches_issued", es.prefetchesIssued)
+        .add("useless_flushed", es.uselessFlushed)
+        .add("useless_invalidated", es.uselessInvalidated)
+        .add("hit_rate_pct", r.streamHitRatePercent)
+        .add("extra_bandwidth_pct", r.extraBandwidthPercent)
+        .add("hits_ready", r.streamHitsReady)
+        .add("hits_pending", r.streamHitsPending);
+
+    // Table 3 buckets; zero-filled when streams are disabled so the
+    // field set never varies with the configuration.
+    static const char *const kLengthLabels[] = {
+        "share_pct_1_5", "share_pct_6_10", "share_pct_11_15",
+        "share_pct_16_20", "share_pct_gt_20"};
+    MetricsSection &lengths = reg.section("stream_lengths");
+    for (std::size_t i = 0; i < 5; ++i) {
+        lengths.add(kLengthLabels[i],
+                    i < out.lengthSharesPercent.size()
+                        ? out.lengthSharesPercent[i]
+                        : 0.0);
+    }
+
+    reg.section("victim")
+        .add("hits", r.victimHits)
+        .add("hit_rate_pct", out.victimHitRatePercent);
+
+    reg.section("l2")
+        .add("hits", r.l2Hits)
+        .add("misses", r.l2Misses)
+        .add("local_hit_rate_pct", r.l2LocalHitRatePercent);
+
+    reg.section("sw_prefetch")
+        .add("total", r.swPrefetches)
+        .add("issued", r.swPrefetchesIssued)
+        .add("redundant", r.swPrefetchesRedundant);
+
+    const CycleBreakdown &cb = r.cycleBreakdown;
+    reg.section("cycles")
+        .add("total", r.cycles)
+        .add("avg_access_cycles", r.avgAccessCycles)
+        .add("l1_hit", cb.l1Hit)
+        .add("victim_hit", cb.victimHit)
+        .add("stream_hit", cb.streamHit)
+        .add("stream_stall", cb.streamStall)
+        .add("demand_fetch", cb.demandFetch)
+        .add("bus_queue", cb.busQueue)
+        .add("sw_prefetch_issue", cb.swPrefetchIssue);
+
+    return reg;
 }
 
 } // namespace sbsim

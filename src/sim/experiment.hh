@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/memory_system.hh"
+#include "util/metrics.hh"
 
 namespace sbsim {
 
@@ -41,8 +42,33 @@ paperSystemConfig(std::uint32_t num_streams = 10,
                   StrideDetection stride = StrideDetection::NONE,
                   unsigned czone_bits = 18);
 
+/**
+ * Finalize @p system and assemble its RunOutput (used by runOnce and
+ * by callers that drive a MemorySystem directly, e.g. the CLI).
+ */
+RunOutput collectOutput(MemorySystem &system);
+
 /** Run @p src through a system configured by @p config. */
 RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config);
+
+/**
+ * As above, with an optional structural event trace attached for the
+ * duration of the run (@p events may be nullptr; caller-owned).
+ */
+RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config,
+                  EventTrace *events);
+
+/**
+ * Convert one run's results into the exported metric sections. Every
+ * section is always present (zero-filled when the corresponding
+ * component is disabled) and fields are inserted in a fixed order, so
+ * the JSON/CSV shape is identical across configurations — the
+ * stability the schema in tools/metrics.schema.json pins.
+ *
+ * Sections, in order: run, l1, streams, stream_lengths, victim, l2,
+ * sw_prefetch, cycles.
+ */
+MetricsRegistry runMetrics(const RunOutput &out);
 
 } // namespace sbsim
 

@@ -19,6 +19,7 @@
 #include "cache/set_sampler.hh"
 #include "cache/split_cache.hh"
 #include "trace/source.hh"
+#include "util/metrics.hh"
 
 namespace sbsim {
 
@@ -93,6 +94,14 @@ minSizeReaching(const std::vector<L2Result> &results, double target);
 /** Best hit rate among candidates of exactly @p size_bytes. */
 double bestHitRateAtSize(const std::vector<L2Result> &results,
                          std::uint64_t size_bytes);
+
+/**
+ * Export the Table 4 candidate results as metric sections: one
+ * section per candidate, named "l2_<sizeKB>k_a<assoc>_b<block>", with
+ * the configuration echoed alongside the estimate. Candidate order is
+ * preserved, so serialisation stays deterministic.
+ */
+MetricsRegistry l2StudyMetrics(const std::vector<L2Result> &results);
 
 } // namespace sbsim
 

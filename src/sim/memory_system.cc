@@ -28,6 +28,14 @@ MemorySystem::MemorySystem(const MemorySystemConfig &config)
     }
 }
 
+void
+MemorySystem::attachEventTrace(EventTrace *trace)
+{
+    events_ = trace;
+    if (engine_)
+        engine_->setEventTrace(trace);
+}
+
 std::uint64_t
 MemorySystem::occupyBus()
 {
@@ -44,6 +52,7 @@ MemorySystem::writebackToMemory(BlockAddr block)
 {
     // Write-backs bypass the streams on their way down and invalidate
     // any stale copies (Section 3).
+    SBSIM_EVENT(events_, cycles_, TraceEvent::L1_WRITEBACK, block, 0);
     if (engine_)
         engine_->onWriteback(block);
 
@@ -52,6 +61,8 @@ MemorySystem::writebackToMemory(BlockAddr block)
         // traffic only when the L2 spills a dirty victim.
         CacheResult r = l2_->fill(block, /*dirty=*/true);
         if (r.writeback) {
+            SBSIM_EVENT(events_, cycles_, TraceEvent::L2_WRITEBACK,
+                        r.writebackAddr, 0);
             occupyBus();
             memory_.transfer(TrafficKind::WRITEBACK);
         }
@@ -84,6 +95,8 @@ MemorySystem::fetchBlock(const MemAccess &access, TrafficKind kind)
     if (l2_) {
         CacheResult r = l2_->access(makeLoad(access.addr));
         if (r.writeback) {
+            SBSIM_EVENT(events_, cycles_, TraceEvent::L2_WRITEBACK,
+                        r.writebackAddr, 0);
             occupyBus();
             memory_.transfer(TrafficKind::WRITEBACK);
         }
@@ -111,6 +124,7 @@ MemorySystem::processAccess(const MemAccess &virt_access)
         // stalls, bypasses the streams (it IS the prefetcher).
         ++swPrefetches_;
         cycles_ += config_.l1HitCycles;
+        cyclesSwPrefetch_ += config_.l1HitCycles;
         if (l1_.dcache().probe(access.addr)) {
             ++swPrefetchesRedundant_;
             return;
@@ -127,6 +141,7 @@ MemorySystem::processAccess(const MemAccess &virt_access)
 
     if (l1_result.hit) {
         cycles_ += config_.l1HitCycles;
+        cyclesL1Hit_ += config_.l1HitCycles;
         return;
     }
 
@@ -141,6 +156,9 @@ MemorySystem::processAccess(const MemAccess &virt_access)
                 l1_.fill(access.addr, access.type, true);
             ++victimHits_;
             cycles_ += config_.victimHitCycles;
+            cyclesVictimHit_ += config_.victimHitCycles;
+            SBSIM_EVENT(events_, cycles_, TraceEvent::VICTIM_HIT,
+                        access.addr, 0);
             return;
         }
     }
@@ -151,6 +169,8 @@ MemorySystem::processAccess(const MemAccess &virt_access)
         for (BlockAddr block : engine_->lastIssuedBlocks()) {
             // Prefetches come from the secondary cache when it holds
             // the block (Jouppi's arrangement), otherwise from memory.
+            SBSIM_EVENT(events_, cycles_, TraceEvent::PREFETCH_ISSUE,
+                        block, 0);
             MemAccess fetch = makeLoad(block);
             fetchBlock(fetch, TrafficKind::PREFETCH);
         }
@@ -167,13 +187,28 @@ MemorySystem::processAccess(const MemAccess &virt_access)
             } else {
                 ++streamHitsReady_;
             }
+            SBSIM_EVENT(events_, cycles_, TraceEvent::STREAM_HIT,
+                        access.addr, stall);
+            SBSIM_EVENT(events_, cycles_, TraceEvent::PREFETCH_COMPLETE,
+                        l1_.mapper().blockBase(access.addr),
+                        outcome.issueTick + config_.memLatencyCycles);
             cycles_ += config_.streamHitCycles + stall;
+            cyclesStreamHit_ += config_.streamHitCycles;
+            cyclesStreamStall_ += stall;
             return;
         }
     }
 
-    // Fast path: fetch the block from the L2 / main memory.
-    cycles_ += fetchBlock(access, TrafficKind::DEMAND);
+    // Fast path: fetch the block from the L2 / main memory. Split the
+    // service time into the queueing component (fetchBlock folds it
+    // into busQueueCycles_ for demand traffic) and the fetch proper,
+    // so the breakdown components stay disjoint.
+    std::uint64_t queued_before = busQueueCycles_.value();
+    std::uint64_t service = fetchBlock(access, TrafficKind::DEMAND);
+    std::uint64_t queued = busQueueCycles_.value() - queued_before;
+    cycles_ += service;
+    cyclesBusQueue_ += queued;
+    cyclesDemandFetch_ += service - queued;
 }
 
 std::uint64_t
@@ -247,6 +282,17 @@ MemorySystem::finish()
     r.streamHitsReady = streamHitsReady_.value();
     r.streamHitsPending = streamHitsPending_.value();
     r.busQueueCycles = busQueueCycles_.value();
+    r.cycleBreakdown.l1Hit = cyclesL1Hit_.value();
+    r.cycleBreakdown.victimHit = cyclesVictimHit_.value();
+    r.cycleBreakdown.streamHit = cyclesStreamHit_.value();
+    r.cycleBreakdown.streamStall = cyclesStreamStall_.value();
+    r.cycleBreakdown.demandFetch = cyclesDemandFetch_.value();
+    r.cycleBreakdown.busQueue = cyclesBusQueue_.value();
+    r.cycleBreakdown.swPrefetchIssue = cyclesSwPrefetch_.value();
+    SBSIM_ASSERT(r.cycleBreakdown.total() == cycles_,
+                 "cycle breakdown (", r.cycleBreakdown.total(),
+                 ") does not account for every simulated cycle (",
+                 cycles_, ")");
     r.avgAccessCycles =
         r.references == 0
             ? 0.0

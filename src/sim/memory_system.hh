@@ -25,6 +25,7 @@
 #include "mem/translation.hh"
 #include "stream/prefetch_engine.hh"
 #include "trace/source.hh"
+#include "util/event_trace.hh"
 #include "util/stats.hh"
 
 namespace sbsim {
@@ -81,6 +82,30 @@ struct MemorySystemConfig
     std::uint64_t translationSeed = 0x9e3779b97f4a7c15ULL;
 };
 
+/**
+ * Where every simulated cycle went. The components are disjoint and
+ * sum exactly to SystemResults::cycles — finish() asserts it — so the
+ * exporter can report a breakdown that provably accounts for all
+ * simulated time.
+ */
+struct CycleBreakdown
+{
+    std::uint64_t l1Hit = 0;          ///< L1 hit service time.
+    std::uint64_t victimHit = 0;      ///< Victim-buffer hit service.
+    std::uint64_t streamHit = 0;      ///< Stream hit service time.
+    std::uint64_t streamStall = 0;    ///< Residual prefetch latency.
+    std::uint64_t demandFetch = 0;    ///< L2/memory demand service.
+    std::uint64_t busQueue = 0;       ///< Demand time lost queueing.
+    std::uint64_t swPrefetchIssue = 0;///< SW prefetch issue slots.
+
+    std::uint64_t
+    total() const
+    {
+        return l1Hit + victimHit + streamHit + streamStall +
+               demandFetch + busQueue + swPrefetchIssue;
+    }
+};
+
 /** Aggregated results of one simulation run. */
 struct SystemResults
 {
@@ -116,6 +141,9 @@ struct SystemResults
     std::uint64_t streamHitsPending = 0; ///< Stalled on in-flight data.
     std::uint64_t busQueueCycles = 0;    ///< Demand time lost queueing.
     double avgAccessCycles = 0;
+
+    /** Per-component cycle accounting; sums exactly to `cycles`. */
+    CycleBreakdown cycleBreakdown;
 };
 
 /** L1 + stream buffers + main memory, driven by a reference trace. */
@@ -126,6 +154,15 @@ class MemorySystem
 
     /** Simulate one reference. */
     void processAccess(const MemAccess &access);
+
+    /**
+     * Attach an opt-in structural event trace (caller-owned; must
+     * outlive the system). Pass nullptr to detach. When detached —
+     * the default — every emission site costs exactly one null test.
+     */
+    void attachEventTrace(EventTrace *trace);
+
+    const EventTrace *eventTrace() const { return events_; }
 
     /** References pulled per nextBatch() call by run(). */
     static constexpr std::size_t kRunBatch = 256;
@@ -193,6 +230,18 @@ class MemorySystem
     Counter swPrefetches_;
     Counter swPrefetchesIssued_;
     Counter swPrefetchesRedundant_;
+
+    /** Disjoint cycle accounting; finish() asserts the components sum
+     *  to cycles_. */
+    Counter cyclesL1Hit_;
+    Counter cyclesVictimHit_;
+    Counter cyclesStreamHit_;
+    Counter cyclesStreamStall_;
+    Counter cyclesDemandFetch_;
+    Counter cyclesBusQueue_;
+    Counter cyclesSwPrefetch_;
+
+    EventTrace *events_ = nullptr;
     bool finished_ = false;
 };
 

@@ -1,12 +1,14 @@
 #include "sweep_runner.hh"
 
 #include <atomic>
-#include <cstdlib>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "trace/time_sampler.hh"
+#include "util/env.hh"
+#include "util/metrics.hh"
 #include "util/stats.hh"
 
 namespace sbsim {
@@ -82,7 +84,8 @@ parallelFor(std::size_t count, unsigned jobs,
 }
 
 SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs),
+      heartbeat_(envBool("SBSIM_PROGRESS").value_or(false))
 {}
 
 std::vector<SweepResult>
@@ -91,6 +94,16 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     // Results live in pre-sized slots indexed by submission order, so
     // completion order never matters.
     std::vector<SweepResult> results(jobs.size());
+
+    // Heartbeat bookkeeping: integral atomics only (the derived rate
+    // is computed at print time), stderr only, so the simulation
+    // results cannot observe it.
+    std::atomic<std::size_t> jobs_done{0};
+    std::atomic<std::uint64_t> refs_done{0};
+    double heartbeat_elapsed = 0;
+    ScopedTimer heartbeat_timer(heartbeat_elapsed);
+    std::mutex heartbeat_mutex;
+
     parallelFor(jobs.size(), jobs_, [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         SweepResult &res = results[i];
@@ -98,13 +111,26 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         {
             ScopedTimer timer(res.wallSeconds);
             std::unique_ptr<TraceSource> src = job.makeSource();
-            res.output = runOnce(*src, job.config);
+            res.output = runOnce(*src, job.config, job.eventTrace);
         }
         res.references = res.output.results.references;
         res.refsPerSecond = res.wallSeconds > 0
                                 ? static_cast<double>(res.references) /
                                       res.wallSeconds
                                 : 0.0;
+        if (heartbeat_) {
+            std::size_t done = jobs_done.fetch_add(1) + 1;
+            std::uint64_t refs =
+                refs_done.fetch_add(res.references) + res.references;
+            double elapsed = heartbeat_timer.elapsedSeconds();
+            double rate =
+                elapsed > 0 ? static_cast<double>(refs) / elapsed : 0.0;
+            std::lock_guard<std::mutex> lock(heartbeat_mutex);
+            std::fprintf(stderr,
+                         "sweep: %zu/%zu jobs, %llu refs, %.0f refs/s\n",
+                         done, jobs.size(),
+                         static_cast<unsigned long long>(refs), rate);
+        }
     });
     return results;
 }
@@ -112,10 +138,9 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 unsigned
 SweepRunner::defaultJobs()
 {
-    if (const char *env = std::getenv("SBSIM_JOBS")) {
-        unsigned long v = std::strtoul(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
+    if (std::optional<std::uint64_t> v =
+            envUnsigned("SBSIM_JOBS", 1, 1024)) {
+        return static_cast<unsigned>(*v);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
@@ -124,8 +149,75 @@ SweepRunner::defaultJobs()
 bool
 SweepRunner::serialForced()
 {
-    const char *env = std::getenv("SBSIM_SERIAL");
-    return env && env[0] == '1';
+    return envBool("SBSIM_SERIAL").value_or(false);
+}
+
+void
+writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os)
+{
+    os << "{\"schema\":\"streamsim-metrics\",\"schema_version\":"
+       << kMetricsSchemaVersion << ",\"kind\":\"sweep\",\"jobs\":[";
+    std::uint64_t total_refs = 0;
+    double total_wall = 0;
+    bool first = true;
+    for (const SweepResult &r : results) {
+        if (!first)
+            os << ',';
+        first = false;
+        total_refs += r.references;
+        total_wall = total_wall + r.wallSeconds;
+        os << "{\"label\":" << jsonQuote(r.label)
+           << ",\"references\":" << r.references
+           << ",\"wall_seconds\":" << jsonNumber(r.wallSeconds)
+           << ",\"refs_per_second\":" << jsonNumber(r.refsPerSecond)
+           << ",\"sections\":";
+        runMetrics(r.output).writeJsonSections(os);
+        os << '}';
+    }
+    double rate = total_wall > 0
+                      ? static_cast<double>(total_refs) / total_wall
+                      : 0.0;
+    os << "],\"aggregate\":{\"jobs\":" << results.size()
+       << ",\"references\":" << total_refs
+       << ",\"wall_seconds\":" << jsonNumber(total_wall)
+       << ",\"refs_per_second\":" << jsonNumber(rate) << "}}\n";
+}
+
+void
+writeSweepCsv(const std::vector<SweepResult> &results, std::ostream &os)
+{
+    // Header from the first job's registry; every job of a sweep runs
+    // the same exporter so the flattened field set is identical.
+    os << "label,references,wall_seconds,refs_per_second";
+    std::vector<std::string> names;
+    if (!results.empty())
+        names = runMetrics(results.front().output).flatFieldNames();
+    for (const std::string &n : names)
+        os << ',' << csvQuote(n);
+    os << '\n';
+
+    std::uint64_t total_refs = 0;
+    double total_wall = 0;
+    for (const SweepResult &r : results) {
+        total_refs += r.references;
+        total_wall = total_wall + r.wallSeconds;
+        os << csvQuote(r.label) << ',' << r.references << ','
+           << jsonNumber(r.wallSeconds) << ','
+           << jsonNumber(r.refsPerSecond);
+        for (const std::string &cell :
+             runMetrics(r.output).flatFieldValues()) {
+            os << ',' << csvQuote(cell);
+        }
+        os << '\n';
+    }
+    double rate = total_wall > 0
+                      ? static_cast<double>(total_refs) / total_wall
+                      : 0.0;
+    os << "aggregate," << total_refs << ',' << jsonNumber(total_wall)
+       << ',' << jsonNumber(rate);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        os << ',';
+    os << '\n';
 }
 
 } // namespace sbsim

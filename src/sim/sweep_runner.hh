@@ -15,7 +15,16 @@
  * (ComposedWorkload and friends are deterministic per instance and
  * share no mutable state), so results are bit-identical for any
  * worker count — including 1. tests/test_sweep_runner.cc enforces
- * this differentially against serial runOnce loops.
+ * this differentially against serial runOnce loops, and
+ * tests/test_event_trace_diff.cc extends the same pin to the
+ * per-job structural event traces.
+ *
+ * Environment knobs (strictly parsed — see util/env.hh; malformed
+ * values warn and are ignored):
+ *   SBSIM_JOBS=N      worker count, plain decimal in [1, 1024].
+ *   SBSIM_SERIAL=B    force serial; B in 1/true/yes/on (or the
+ *                     0/false/no/off negations).
+ *   SBSIM_PROGRESS=B  emit the sweep heartbeat on stderr.
  */
 
 #ifndef STREAMSIM_SIM_SWEEP_RUNNER_HH
@@ -29,6 +38,7 @@
 
 #include "sim/experiment.hh"
 #include "trace/source.hh"
+#include "util/event_trace.hh"
 #include "workloads/benchmark.hh"
 
 namespace sbsim {
@@ -47,6 +57,13 @@ struct SweepJob
     std::function<std::unique_ptr<TraceSource>()> makeSource;
 
     MemorySystemConfig config;
+
+    /**
+     * Optional per-job structural event capture (caller-owned; must
+     * outlive run()). Each job writes only its own trace, so parallel
+     * execution stays race-free and bit-identical to serial.
+     */
+    EventTrace *eventTrace = nullptr;
 };
 
 /** A RunOutput plus per-job provenance and throughput. */
@@ -99,23 +116,57 @@ class SweepRunner
     unsigned jobs() const { return serialForced() ? 1 : jobs_; }
 
     /**
+     * Emit a progress heartbeat on stderr while run() executes: jobs
+     * completed / total, references simulated, aggregate refs/s.
+     * Defaults to SBSIM_PROGRESS (off when unset). Never touches the
+     * results, so it cannot perturb determinism.
+     */
+    void setHeartbeat(bool on) { heartbeat_ = on; }
+    bool heartbeat() const { return heartbeat_; }
+
+    /**
      * Execute every job and return results in submission order.
      * Results are bit-identical for any worker count.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
 
     /**
-     * Default worker count: SBSIM_JOBS when set and positive, else
-     * std::thread::hardware_concurrency() (1 when unknown).
+     * Default worker count: SBSIM_JOBS when set to a plain decimal in
+     * [1, 1024] (malformed or out-of-range values warn and are
+     * ignored), else std::thread::hardware_concurrency() (1 when
+     * unknown).
      */
     static unsigned defaultJobs();
 
-    /** True when SBSIM_SERIAL=1 forces inline serial execution. */
+    /**
+     * True when SBSIM_SERIAL is a true-ish boolean (1/true/yes/on,
+     * case-insensitive). False-ish forms (0/false/no/off) and unset
+     * run parallel; anything else warns and runs parallel.
+     */
     static bool serialForced();
 
   private:
     unsigned jobs_;
+    bool heartbeat_;
 };
+
+/**
+ * Serialise sweep results as one JSON document: a "jobs" array of
+ * per-job metric sections (label + the full runMetrics section set)
+ * plus an "aggregate" object (job count, total references, wall
+ * seconds, aggregate refs/s). Field order is deterministic.
+ */
+void writeSweepJson(const std::vector<SweepResult> &results,
+                    std::ostream &os);
+
+/**
+ * Serialise sweep results as CSV: one row per job (label, references,
+ * wall_seconds, refs_per_second, then every flattened
+ * "section.field" metric) and a final "aggregate" row carrying the
+ * totals with the per-run metric cells left empty.
+ */
+void writeSweepCsv(const std::vector<SweepResult> &results,
+                   std::ostream &os);
 
 } // namespace sbsim
 

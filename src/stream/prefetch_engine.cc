@@ -58,8 +58,12 @@ PrefetchEngine::setFor(const MemAccess &access)
 }
 
 void
-PrefetchEngine::recordRun(const StreamFlush &flushed)
+PrefetchEngine::recordRun(const StreamFlush &flushed, std::uint64_t now)
 {
+    if (flushed.wasActive) {
+        SBSIM_EVENT(events_, now, TraceEvent::STREAM_FLUSH, 0,
+                    flushed.hitRun);
+    }
     if (flushed.wasActive && flushed.hitRun > 0)
         lengthDist_.sample(flushed.hitRun, flushed.hitRun);
 }
@@ -73,10 +77,12 @@ PrefetchEngine::allocateStream(StreamSet &set, Addr start,
     // the per-miss hot path must not allocate.
     StreamFlush flushed;
     set.allocate(start, stride, now, lastIssued_, flushed);
+    SBSIM_EVENT(events_, now, TraceEvent::STREAM_ALLOC, start,
+                static_cast<std::uint64_t>(stride));
     ++stats_.allocations;
     stats_.prefetchesIssued += lastIssued_.size();
     stats_.uselessFlushed += flushed.uselessPrefetches;
-    recordRun(flushed);
+    recordRun(flushed, now);
     outcome.allocated = true;
     outcome.prefetchesIssued =
         static_cast<std::uint32_t>(lastIssued_.size());
@@ -87,6 +93,7 @@ PrefetchEngine::onPrimaryMiss(const MemAccess &access, std::uint64_t now)
 {
     SBSIM_ASSERT(!finalized_, "onPrimaryMiss after finalize");
     ++stats_.lookups;
+    lastTick_ = now;
     EngineOutcome outcome;
     lastIssued_.clear();
 
@@ -120,11 +127,20 @@ PrefetchEngine::onPrimaryMiss(const MemAccess &access, std::uint64_t now)
     } else {
         std::uint64_t block = mapper_.blockNumber(access.addr);
         if (unitFilter_->onStreamMiss(block)) {
+            SBSIM_EVENT(events_, now, TraceEvent::FILTER_ACCEPT,
+                        access.addr, block);
             allocate_unit = true;
-        } else if (czoneFilter_) {
-            stride_alloc = czoneFilter_->onMiss(access.addr);
-        } else if (minDelta_) {
-            stride_alloc = minDelta_->onMiss(access.addr);
+        } else {
+            SBSIM_EVENT(events_, now, TraceEvent::FILTER_REJECT,
+                        access.addr, block);
+            if (czoneFilter_) {
+                SBSIM_EVENT(events_, now, TraceEvent::CZONE_ASSIGN,
+                            access.addr,
+                            access.addr >> czoneFilter_->czoneBits());
+                stride_alloc = czoneFilter_->onMiss(access.addr);
+            } else if (minDelta_) {
+                stride_alloc = minDelta_->onMiss(access.addr);
+            }
         }
     }
 
@@ -159,7 +175,7 @@ PrefetchEngine::finalize()
             continue;
         for (const StreamFlush &f : set->drainAll()) {
             stats_.uselessFlushed += f.uselessPrefetches;
-            recordRun(f);
+            recordRun(f, lastTick_);
         }
     }
 }
@@ -204,6 +220,7 @@ PrefetchEngine::reset()
         minDelta_->reset();
     stats_ = StreamEngineStats{};
     lengthDist_.reset();
+    lastTick_ = 0;
     finalized_ = false;
 }
 

@@ -32,6 +32,7 @@
 #include "stream/min_delta.hh"
 #include "stream/stream_set.hh"
 #include "stream/unit_filter.hh"
+#include "util/event_trace.hh"
 #include "util/stats.hh"
 
 namespace sbsim {
@@ -138,6 +139,13 @@ class PrefetchEngine
     void onWriteback(BlockAddr block);
 
     /**
+     * Attach an opt-in structural event trace (caller-owned; must
+     * outlive the engine). Records filter verdicts, czone partition
+     * assignments, stream allocations and flushes. nullptr detaches.
+     */
+    void setEventTrace(EventTrace *trace) { events_ = trace; }
+
+    /**
      * Flush all streams and fold the leftovers into the statistics.
      * Call once at end of simulation before reading stats.
      */
@@ -175,7 +183,7 @@ class PrefetchEngine
     void allocateStream(StreamSet &set, Addr start, std::int64_t stride,
                         std::uint64_t now, EngineOutcome &outcome);
 
-    void recordRun(const StreamFlush &flushed);
+    void recordRun(const StreamFlush &flushed, std::uint64_t now);
 
     StreamEngineConfig config_;
     BlockMapper mapper_;
@@ -188,6 +196,10 @@ class PrefetchEngine
     StreamEngineStats stats_;
     BucketedDistribution lengthDist_;
     std::vector<BlockAddr> lastIssued_;
+    EventTrace *events_ = nullptr;
+    /** Tick of the most recent onPrimaryMiss; timestamps the flush
+     *  events finalize() emits for the streams still alive at EOF. */
+    std::uint64_t lastTick_ = 0;
     bool finalized_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "util/bitutil.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -33,18 +34,37 @@ decodeRecord(const std::array<char, kRecordSize> &buf, MemAccess &a)
     auto raw_type = static_cast<std::uint8_t>(buf[16]);
     if (raw_type > static_cast<std::uint8_t>(AccessType::PREFETCH))
         return false;
+    auto raw_size = static_cast<std::uint8_t>(buf[17]);
+    // A zero or non-power-of-two access size would flow straight into
+    // the cache index arithmetic; nonzero padding means the bytes are
+    // not ours (foreign or bit-rotted file). Both are corruption.
+    if (!isPowerOf2(raw_size))
+        return false;
+    if (buf[18] != 0 || buf[19] != 0)
+        return false;
     a.type = static_cast<AccessType>(raw_type);
-    a.size = static_cast<std::uint8_t>(buf[17]);
+    a.size = raw_size;
     return true;
 }
 
 } // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
-    : out_(path, std::ios::binary | std::ios::trunc)
+    : out_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      name_(path)
 {
-    if (!out_)
+    if (!*out_)
         SBSIM_FATAL("cannot open trace file for writing: ", path);
+    open_ = true;
+    writeHeader();
+}
+
+TraceWriter::TraceWriter(std::unique_ptr<std::ostream> out,
+                         std::string name)
+    : out_(std::move(out)), name_(std::move(name))
+{
+    SBSIM_ASSERT(out_ != nullptr, "TraceWriter needs a stream");
     open_ = true;
     writeHeader();
 }
@@ -57,11 +77,11 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::writeHeader()
 {
-    out_.seekp(0);
-    out_.write(kMagic, 4);
+    out_->seekp(0);
+    out_->write(kMagic, 4);
     std::uint32_t version = kVersion;
-    out_.write(reinterpret_cast<const char *>(&version), 4);
-    out_.write(reinterpret_cast<const char *>(&count_), 8);
+    out_->write(reinterpret_cast<const char *>(&version), 4);
+    out_->write(reinterpret_cast<const char *>(&count_), 8);
 }
 
 void
@@ -70,7 +90,15 @@ TraceWriter::append(const MemAccess &access)
     SBSIM_ASSERT(open_, "append on a closed TraceWriter");
     std::array<char, kRecordSize> buf;
     encodeRecord(access, buf);
-    out_.write(buf.data(), buf.size());
+    out_->write(buf.data(), buf.size());
+    // Count only what actually reached the stream: a failed write
+    // (disk full, I/O error) must not inflate the header's record
+    // count, or close() would finalize a header claiming records the
+    // file does not hold.
+    if (!*out_) {
+        SBSIM_FATAL("trace write failed after ", count_, " records: ",
+                    name_, " (disk full?)");
+    }
     ++count_;
 }
 
@@ -92,7 +120,15 @@ TraceWriter::close()
     if (!open_)
         return;
     writeHeader();
-    out_.close();
+    out_->flush();
+    // The header rewrite is the last chance to catch a short file: if
+    // it (or the flush of buffered records) failed, the file is not a
+    // valid trace and pretending otherwise corrupts every consumer.
+    if (!*out_) {
+        SBSIM_FATAL("failed to finalize trace header of ", name_,
+                    " (disk full?)");
+    }
+    out_.reset();
     open_ = false;
 }
 
@@ -128,7 +164,16 @@ TraceReader::next(MemAccess &out)
     std::array<char, kRecordSize> buf;
     in_.read(buf.data(), buf.size());
     if (!in_) {
-        SBSIM_WARN("trace file ", path_, " truncated at record ", pos_);
+        auto got = static_cast<std::size_t>(in_.gcount());
+        if (got != 0) {
+            // A partial record: the file was torn mid-write, so the
+            // data before the tear is suspect too.
+            SBSIM_FATAL("torn record ", pos_, " in ", path_, " (",
+                        got, " of ", kRecordSize, " bytes)");
+        }
+        SBSIM_WARN("trace file ", path_, " truncated at record ", pos_,
+                   " of ", count_);
+        truncated_ = true;
         pos_ = count_;
         return false;
     }
@@ -153,6 +198,14 @@ TraceReader::nextBatch(MemAccess *out, std::size_t max)
         in_.read(raw.data(),
                  static_cast<std::streamsize>(want * kRecordSize));
         auto got_bytes = static_cast<std::size_t>(in_.gcount());
+        if (got_bytes % kRecordSize != 0) {
+            // A short read that does not land on a record boundary is
+            // a torn record — corruption, not a clean truncation.
+            SBSIM_FATAL("torn record ",
+                        pos_ + got_bytes / kRecordSize, " in ", path_,
+                        " (", got_bytes % kRecordSize, " of ",
+                        kRecordSize, " bytes)");
+        }
         std::size_t got = got_bytes / kRecordSize;
         for (std::size_t i = 0; i < got; ++i) {
             std::array<char, kRecordSize> buf;
@@ -165,7 +218,8 @@ TraceReader::nextBatch(MemAccess *out, std::size_t max)
         n += got;
         if (got < want) {
             SBSIM_WARN("trace file ", path_, " truncated at record ",
-                       pos_);
+                       pos_, " of ", count_);
+            truncated_ = true;
             pos_ = count_;
             break;
         }
@@ -176,9 +230,17 @@ TraceReader::nextBatch(MemAccess *out, std::size_t max)
 void
 TraceReader::reset()
 {
+    // After a truncation (or any failure) the stream's state bits are
+    // set and the file may have changed; re-validate the header from
+    // byte 0 rather than just clearing failbit and trusting the old
+    // counters.
     in_.clear();
-    in_.seekg(kHeaderSize);
+    in_.seekg(0);
+    readHeader();
+    static_assert(kHeaderSize == 4 + 4 + 8,
+                  "readHeader must consume exactly the header");
     pos_ = 0;
+    truncated_ = false;
 }
 
 } // namespace sbsim

@@ -1,0 +1,80 @@
+#include "env.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+std::optional<std::uint64_t>
+parseUnsignedStrict(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    const char *begin = s.data();
+    const char *end = begin + s.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+    if (ec != std::errc{} || ptr != end)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<bool>
+parseBoolStrict(const std::string &s)
+{
+    std::string lower;
+    lower.reserve(s.size());
+    for (char c : s)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "1" || lower == "true" || lower == "yes" ||
+        lower == "on") {
+        return true;
+    }
+    if (lower == "0" || lower == "false" || lower == "no" ||
+        lower == "off") {
+        return false;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+envUnsigned(const char *name, std::uint64_t min_value,
+            std::uint64_t max_value)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || raw[0] == '\0')
+        return std::nullopt;
+    std::optional<std::uint64_t> v = parseUnsignedStrict(raw);
+    if (!v) {
+        SBSIM_WARN(name, "='", raw,
+                   "' is not a plain decimal integer; ignoring");
+        return std::nullopt;
+    }
+    if (*v < min_value || *v > max_value) {
+        SBSIM_WARN(name, "=", *v, " is outside [", min_value, ", ",
+                   max_value, "]; ignoring");
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<bool>
+envBool(const char *name)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || raw[0] == '\0')
+        return std::nullopt;
+    std::optional<bool> v = parseBoolStrict(raw);
+    if (!v) {
+        SBSIM_WARN(name, "='", raw,
+                   "' is not a boolean (1/true/yes/on or "
+                   "0/false/no/off); ignoring");
+    }
+    return v;
+}
+
+} // namespace sbsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Strict environment-variable parsing. The sweep runner's knobs
+ * (SBSIM_JOBS, SBSIM_SERIAL, SBSIM_PROGRESS) used to be read with
+ * strtoul / first-character checks, which silently accepted
+ * "SBSIM_JOBS=4x" as 4, wrapped huge values, and ignored
+ * "SBSIM_SERIAL=true" entirely. These helpers parse strictly, warn
+ * once per malformed value, and document the accepted forms:
+ *
+ *   unsigned: decimal digits only, no sign/whitespace/suffix;
+ *             range-checked against the caller's [min, max].
+ *   boolean:  1/true/yes/on  -> true,  0/false/no/off -> false
+ *             (ASCII case-insensitive). An empty value counts as
+ *             unset; anything else warns and counts as unset.
+ */
+
+#ifndef STREAMSIM_UTIL_ENV_HH
+#define STREAMSIM_UTIL_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sbsim {
+
+/**
+ * Parse @p s as a base-10 unsigned integer. Rejects empty strings,
+ * signs, whitespace, trailing garbage and values over uint64 range.
+ */
+std::optional<std::uint64_t> parseUnsignedStrict(const std::string &s);
+
+/** Parse @p s as a boolean per the forms documented above. */
+std::optional<bool> parseBoolStrict(const std::string &s);
+
+/**
+ * Read env var @p name as an unsigned in [@p min_value, @p max_value].
+ * Returns nullopt when unset or empty; warns (via SBSIM_WARN) and
+ * returns nullopt when malformed or out of range.
+ */
+std::optional<std::uint64_t> envUnsigned(const char *name,
+                                         std::uint64_t min_value,
+                                         std::uint64_t max_value);
+
+/**
+ * Read env var @p name as a boolean. Returns nullopt when unset or
+ * empty; warns and returns nullopt on an unrecognised value.
+ */
+std::optional<bool> envBool(const char *name);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_UTIL_ENV_HH

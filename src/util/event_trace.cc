@@ -1,0 +1,45 @@
+#include "event_trace.hh"
+
+namespace sbsim {
+
+const char *
+toString(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::STREAM_ALLOC: return "stream_alloc";
+      case TraceEvent::FILTER_ACCEPT: return "filter_accept";
+      case TraceEvent::FILTER_REJECT: return "filter_reject";
+      case TraceEvent::CZONE_ASSIGN: return "czone_assign";
+      case TraceEvent::PREFETCH_ISSUE: return "prefetch_issue";
+      case TraceEvent::PREFETCH_COMPLETE: return "prefetch_complete";
+      case TraceEvent::STREAM_HIT: return "stream_hit";
+      case TraceEvent::STREAM_FLUSH: return "stream_flush";
+      case TraceEvent::VICTIM_HIT: return "victim_hit";
+      case TraceEvent::L1_WRITEBACK: return "l1_writeback";
+      case TraceEvent::L2_WRITEBACK: return "l2_writeback";
+    }
+    return "?";
+}
+
+std::uint64_t
+EventTrace::count(TraceEvent ev) const
+{
+    std::uint64_t n = 0;
+    for (const EventRecord &r : events_) {
+        if (r.event == ev)
+            ++n;
+    }
+    return n;
+}
+
+void
+EventTrace::writeJsonl(std::ostream &os) const
+{
+    for (const EventRecord &r : events_) {
+        os << "{\"cycle\":" << r.cycle << ",\"event\":\""
+           << toString(r.event) << "\",\"addr\":" << r.addr
+           << ",\"arg\":" << r.arg << "}\n";
+    }
+}
+
+} // namespace sbsim

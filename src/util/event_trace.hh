@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Opt-in structural event trace of the stream-buffer datapath.
+ *
+ * Each record is (cycle, event kind, address, argument): which stream
+ * allocated where and with what stride, which misses the unit filter
+ * accepted or rejected, which czone partition a miss landed in, when
+ * each prefetch was issued and when its data arrived, every stream
+ * hit/flush, victim-buffer hit and L1/L2 write-back. Serialised as
+ * JSONL (one JSON object per line) so traces stream and diff cleanly.
+ *
+ * Cost model (mirrors SBSIM_AUDIT's "free when off" contract, but at
+ * run time instead of compile time): components hold a raw
+ * `EventTrace *` that is null unless a caller attached a trace, and
+ * every emission site goes through SBSIM_EVENT, which reduces to one
+ * predictable null-pointer test on the miss path — never the hit
+ * path — so a detached build measures within noise of the previous
+ * code (the <2% bench budget in ISSUE/CI).
+ *
+ * Determinism: a trace is per-MemorySystem state filled only by that
+ * system's thread, so serial and parallel sweeps of the same job
+ * produce byte-identical JSONL (pinned by the tsan-labelled
+ * differential test).
+ */
+
+#ifndef STREAMSIM_UTIL_EVENT_TRACE_HH
+#define STREAMSIM_UTIL_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace sbsim {
+
+/** What happened. The `arg` field's meaning depends on the kind. */
+enum class TraceEvent : std::uint8_t
+{
+    STREAM_ALLOC,      ///< arg = stride (two's-complement bits).
+    FILTER_ACCEPT,     ///< Unit filter verified; arg = block number.
+    FILTER_REJECT,     ///< Unit filter not yet verified; arg = block.
+    CZONE_ASSIGN,      ///< Miss routed to a czone; arg = partition tag.
+    PREFETCH_ISSUE,    ///< addr = prefetched block; arg = 0.
+    PREFETCH_COMPLETE, ///< addr = consumed block; arg = arrival cycle.
+    STREAM_HIT,        ///< arg = residual stall cycles (0 when ready).
+    STREAM_FLUSH,      ///< arg = hit-run length being retired.
+    VICTIM_HIT,        ///< Victim-buffer hit; arg = 0.
+    L1_WRITEBACK,      ///< Dirty block leaves the L1; arg = 0.
+    L2_WRITEBACK,      ///< L2 spills a dirty victim; arg = 0.
+};
+
+/** Stable lowercase name used in the JSONL output. */
+const char *toString(TraceEvent ev);
+
+/** One trace record. */
+struct EventRecord
+{
+    std::uint64_t cycle = 0;
+    std::uint64_t addr = 0;
+    std::uint64_t arg = 0;
+    TraceEvent event = TraceEvent::STREAM_ALLOC;
+
+    bool
+    operator==(const EventRecord &o) const
+    {
+        return cycle == o.cycle && addr == o.addr && arg == o.arg &&
+               event == o.event;
+    }
+};
+
+/** Append-only in-memory event log with a JSONL serialiser. */
+class EventTrace
+{
+  public:
+    void
+    record(std::uint64_t cycle, TraceEvent ev, std::uint64_t addr,
+           std::uint64_t arg = 0)
+    {
+        events_.push_back({cycle, addr, arg, ev});
+    }
+
+    const std::vector<EventRecord> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /** Number of records of kind @p ev. */
+    std::uint64_t count(TraceEvent ev) const;
+
+    /**
+     * One JSON object per record:
+     *   {"cycle":N,"event":"stream_hit","addr":N,"arg":N}
+     * Field order is fixed; output is byte-deterministic.
+     */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    std::vector<EventRecord> events_;
+};
+
+} // namespace sbsim
+
+/**
+ * Emit an event iff @p trace (an `EventTrace *`) is attached. Keeps
+ * the sites one line and guarantees the detached cost is exactly the
+ * null test, like SBSIM_AUDIT guarantees zero cost in unchecked
+ * builds.
+ */
+#define SBSIM_EVENT(trace, cycle, ev, addr, arg) \
+    do { \
+        if (trace) \
+            (trace)->record((cycle), (ev), (addr), (arg)); \
+    } while (0)
+
+#endif // STREAMSIM_UTIL_EVENT_TRACE_HH

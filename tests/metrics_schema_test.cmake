@@ -1,0 +1,40 @@
+# End-to-end metrics-export contract check, run as a CTest:
+#   1. validate_metrics.py --self-test (the validator still rejects
+#      every class of schema drift),
+#   2. a real `run --json-out` and `sweep --json-out` validated
+#      against the checked-in tools/metrics.schema.json.
+# Driven through `cmake -P` so the test works on every generator
+# without a shell dependency.
+
+foreach(var STREAMSIM_CLI PYTHON SOURCE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "metrics_schema_test.cmake needs -D${var}")
+    endif()
+endforeach()
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/metrics_schema_work)
+file(MAKE_DIRECTORY ${work})
+
+execute_process(
+    COMMAND ${STREAMSIM_CLI} run --benchmark mgrid --refs 100000
+            --json-out ${work}/run.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "run --json-out failed: ${status}")
+endif()
+
+execute_process(
+    COMMAND ${STREAMSIM_CLI} sweep --benchmark mgrid --refs 50000
+            --values 1,4 --json-out ${work}/sweep.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "sweep --json-out failed: ${status}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/validate_metrics.py
+            --self-test ${work}/run.json ${work}/sweep.json
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "schema validation failed: ${status}")
+endif()

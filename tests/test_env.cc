@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for strict environment-variable parsing and the sweep
+ * runner's use of it. The pre-fix code read SBSIM_JOBS with strtoul
+ * (accepting "4x" as 4 and wrapping huge values) and SBSIM_SERIAL by
+ * first character (ignoring "true"/"yes"); every rejection below
+ * regresses on that code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+using namespace sbsim;
+
+namespace {
+
+/** Captures warnings so malformed values can be asserted on. */
+class CaptureSink : public LogSink
+{
+  public:
+    void
+    message(const std::string &severity, const std::string &text) override
+    {
+        entries.push_back(severity + ": " + text);
+    }
+
+    std::vector<std::string> entries;
+};
+
+/** Scoped setenv/unsetenv so tests cannot leak into each other. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+} // namespace
+
+TEST(ParseUnsignedStrict, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseUnsignedStrict("0"), 0u);
+    EXPECT_EQ(parseUnsignedStrict("7"), 7u);
+    EXPECT_EQ(parseUnsignedStrict("1024"), 1024u);
+    EXPECT_EQ(parseUnsignedStrict("18446744073709551615"),
+              18446744073709551615ull);
+}
+
+TEST(ParseUnsignedStrict, RejectsEverythingElse)
+{
+    // Trailing garbage — the strtoul bug accepted all of these.
+    EXPECT_FALSE(parseUnsignedStrict("4x"));
+    EXPECT_FALSE(parseUnsignedStrict("4 "));
+    EXPECT_FALSE(parseUnsignedStrict("4.0"));
+    // Signs and whitespace.
+    EXPECT_FALSE(parseUnsignedStrict("+4"));
+    EXPECT_FALSE(parseUnsignedStrict("-4"));
+    EXPECT_FALSE(parseUnsignedStrict(" 4"));
+    // Overflow must not wrap.
+    EXPECT_FALSE(parseUnsignedStrict("18446744073709551616"));
+    EXPECT_FALSE(parseUnsignedStrict("99999999999999999999999"));
+    // Empty / non-numeric / other bases.
+    EXPECT_FALSE(parseUnsignedStrict(""));
+    EXPECT_FALSE(parseUnsignedStrict("four"));
+    EXPECT_FALSE(parseUnsignedStrict("0x10"));
+}
+
+TEST(ParseBoolStrict, AcceptsDocumentedForms)
+{
+    for (const char *t : {"1", "true", "TRUE", "True", "yes", "YES",
+                          "on", "On"}) {
+        EXPECT_EQ(parseBoolStrict(t), true) << t;
+    }
+    for (const char *f : {"0", "false", "FALSE", "no", "No", "off",
+                          "OFF"}) {
+        EXPECT_EQ(parseBoolStrict(f), false) << f;
+    }
+}
+
+TEST(ParseBoolStrict, RejectsEverythingElse)
+{
+    EXPECT_FALSE(parseBoolStrict(""));
+    EXPECT_FALSE(parseBoolStrict("2"));
+    EXPECT_FALSE(parseBoolStrict("yep"));
+    EXPECT_FALSE(parseBoolStrict("true "));
+    EXPECT_FALSE(parseBoolStrict("enable"));
+}
+
+TEST(EnvUnsigned, UnsetAndEmptyAreSilentlyAbsent)
+{
+    ::unsetenv("SBSIM_TEST_U");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_FALSE(envUnsigned("SBSIM_TEST_U", 1, 100));
+    {
+        ScopedEnv env("SBSIM_TEST_U", "");
+        EXPECT_FALSE(envUnsigned("SBSIM_TEST_U", 1, 100));
+    }
+    setLogSink(nullptr);
+    EXPECT_TRUE(sink.entries.empty());
+}
+
+TEST(EnvUnsigned, MalformedWarnsAndIsIgnored)
+{
+    ScopedEnv env("SBSIM_TEST_U", "4x");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_FALSE(envUnsigned("SBSIM_TEST_U", 1, 100));
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.entries.size(), 1u);
+    EXPECT_NE(sink.entries[0].find("not a plain decimal integer"),
+              std::string::npos)
+        << sink.entries[0];
+}
+
+TEST(EnvUnsigned, OutOfRangeWarnsAndIsIgnored)
+{
+    ScopedEnv env("SBSIM_TEST_U", "4096");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_FALSE(envUnsigned("SBSIM_TEST_U", 1, 1024));
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.entries.size(), 1u);
+    EXPECT_NE(sink.entries[0].find("outside [1, 1024]"),
+              std::string::npos)
+        << sink.entries[0];
+}
+
+TEST(EnvUnsigned, ValidValuePassesThrough)
+{
+    ScopedEnv env("SBSIM_TEST_U", "12");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_EQ(envUnsigned("SBSIM_TEST_U", 1, 1024), 12u);
+    setLogSink(nullptr);
+    EXPECT_TRUE(sink.entries.empty());
+}
+
+TEST(EnvBool, WarnsOnUnrecognisedValue)
+{
+    ScopedEnv env("SBSIM_TEST_B", "maybe");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_FALSE(envBool("SBSIM_TEST_B"));
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.entries.size(), 1u);
+    EXPECT_NE(sink.entries[0].find("not a boolean"), std::string::npos);
+}
+
+// --- The sweep runner's knobs, end to end --------------------------
+
+TEST(SweepEnv, JobsHonoursValidValue)
+{
+    ScopedEnv env("SBSIM_JOBS", "3");
+    EXPECT_EQ(SweepRunner::defaultJobs(), 3u);
+}
+
+TEST(SweepEnv, JobsIgnoresTrailingGarbage)
+{
+    // The strtoul bug read "4x" as 4 workers; strict parsing must
+    // fall back to hardware concurrency instead.
+    unsigned fallback;
+    {
+        ::unsetenv("SBSIM_JOBS");
+        fallback = SweepRunner::defaultJobs();
+    }
+    ScopedEnv env("SBSIM_JOBS", "4x");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_EQ(SweepRunner::defaultJobs(), fallback);
+    setLogSink(nullptr);
+    EXPECT_EQ(sink.entries.size(), 1u);
+}
+
+TEST(SweepEnv, JobsRejectsZeroAndHugeValues)
+{
+    CaptureSink sink;
+    setLogSink(&sink);
+    unsigned fallback;
+    {
+        ::unsetenv("SBSIM_JOBS");
+        fallback = SweepRunner::defaultJobs();
+    }
+    {
+        ScopedEnv env("SBSIM_JOBS", "0");
+        EXPECT_EQ(SweepRunner::defaultJobs(), fallback);
+    }
+    {
+        // 2^64 + 4: the wrapping bug turned this into 4 workers.
+        ScopedEnv env("SBSIM_JOBS", "18446744073709551620");
+        EXPECT_EQ(SweepRunner::defaultJobs(), fallback);
+    }
+    setLogSink(nullptr);
+    EXPECT_EQ(sink.entries.size(), 2u);
+}
+
+TEST(SweepEnv, SerialAcceptsWordForms)
+{
+    // "SBSIM_SERIAL=true" was silently ignored by the first-character
+    // check (it looked for '1'/'y' only... or accepted 'yak').
+    for (const char *t : {"1", "true", "yes", "ON"}) {
+        ScopedEnv env("SBSIM_SERIAL", t);
+        EXPECT_TRUE(SweepRunner::serialForced()) << t;
+    }
+    for (const char *f : {"0", "false", "no", "off"}) {
+        ScopedEnv env("SBSIM_SERIAL", f);
+        EXPECT_FALSE(SweepRunner::serialForced()) << f;
+    }
+}
+
+TEST(SweepEnv, SerialUnrecognisedWarnsAndRunsParallel)
+{
+    ScopedEnv env("SBSIM_SERIAL", "yak");
+    CaptureSink sink;
+    setLogSink(&sink);
+    EXPECT_FALSE(SweepRunner::serialForced());
+    setLogSink(nullptr);
+    EXPECT_EQ(sink.entries.size(), 1u);
+}

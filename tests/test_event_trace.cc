@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the structural event trace: JSONL serialisation (golden),
+ * the SBSIM_EVENT null-guard, and the consistency of the emitted
+ * event stream with the aggregate statistics — every stream hit,
+ * allocation, prefetch and victim hit in the stats must appear as an
+ * event, and attaching a trace must not change the simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "trace/time_sampler.hh"
+#include "util/event_trace.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+RunOutput
+tracedRun(const MemorySystemConfig &config, EventTrace *events,
+          const char *benchmark = "mgrid", std::uint64_t refs = 60000)
+{
+    auto workload = findBenchmark(benchmark).makeWorkload();
+    TruncatingSource limited(*workload, refs);
+    return runOnce(limited, config, events);
+}
+
+} // namespace
+
+TEST(EventTrace, RecordsAndCounts)
+{
+    EventTrace trace;
+    EXPECT_EQ(trace.size(), 0u);
+    trace.record(10, TraceEvent::STREAM_ALLOC, 0x1000, 32);
+    trace.record(12, TraceEvent::STREAM_HIT, 0x1020, 0);
+    trace.record(15, TraceEvent::STREAM_HIT, 0x1040, 7);
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.count(TraceEvent::STREAM_HIT), 2u);
+    EXPECT_EQ(trace.count(TraceEvent::STREAM_ALLOC), 1u);
+    EXPECT_EQ(trace.count(TraceEvent::VICTIM_HIT), 0u);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(EventTrace, GoldenJsonl)
+{
+    EventTrace trace;
+    trace.record(10, TraceEvent::STREAM_ALLOC, 0x1000, 32);
+    trace.record(12, TraceEvent::FILTER_REJECT, 0x2000, 256);
+    trace.record(15, TraceEvent::PREFETCH_COMPLETE, 0x1020, 62);
+    std::ostringstream os;
+    trace.writeJsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"cycle\":10,\"event\":\"stream_alloc\",\"addr\":4096,"
+              "\"arg\":32}\n"
+              "{\"cycle\":12,\"event\":\"filter_reject\",\"addr\":8192,"
+              "\"arg\":256}\n"
+              "{\"cycle\":15,\"event\":\"prefetch_complete\","
+              "\"addr\":4128,\"arg\":62}\n");
+}
+
+TEST(EventTrace, EveryKindHasAStableName)
+{
+    EXPECT_STREQ(toString(TraceEvent::STREAM_ALLOC), "stream_alloc");
+    EXPECT_STREQ(toString(TraceEvent::FILTER_ACCEPT), "filter_accept");
+    EXPECT_STREQ(toString(TraceEvent::FILTER_REJECT), "filter_reject");
+    EXPECT_STREQ(toString(TraceEvent::CZONE_ASSIGN), "czone_assign");
+    EXPECT_STREQ(toString(TraceEvent::PREFETCH_ISSUE), "prefetch_issue");
+    EXPECT_STREQ(toString(TraceEvent::PREFETCH_COMPLETE),
+                 "prefetch_complete");
+    EXPECT_STREQ(toString(TraceEvent::STREAM_HIT), "stream_hit");
+    EXPECT_STREQ(toString(TraceEvent::STREAM_FLUSH), "stream_flush");
+    EXPECT_STREQ(toString(TraceEvent::VICTIM_HIT), "victim_hit");
+    EXPECT_STREQ(toString(TraceEvent::L1_WRITEBACK), "l1_writeback");
+    EXPECT_STREQ(toString(TraceEvent::L2_WRITEBACK), "l2_writeback");
+}
+
+TEST(SbsimEventMacro, NullTraceIsANoOp)
+{
+    EventTrace *none = nullptr;
+    SBSIM_EVENT(none, 1, TraceEvent::STREAM_HIT, 2, 3); // must not crash
+    EventTrace trace;
+    EventTrace *some = &trace;
+    SBSIM_EVENT(some, 1, TraceEvent::STREAM_HIT, 2, 3);
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+// --- Event stream vs aggregate statistics --------------------------
+
+TEST(EventTraceIntegration, EventCountsMatchEngineStats)
+{
+    EventTrace events;
+    RunOutput out = tracedRun(paperSystemConfig(8), &events);
+    ASSERT_GT(events.size(), 0u);
+
+    EXPECT_EQ(events.count(TraceEvent::STREAM_HIT),
+              out.engineStats.hits);
+    EXPECT_EQ(events.count(TraceEvent::PREFETCH_COMPLETE),
+              out.engineStats.hits);
+    EXPECT_EQ(events.count(TraceEvent::STREAM_ALLOC),
+              out.engineStats.allocations);
+    EXPECT_EQ(events.count(TraceEvent::PREFETCH_ISSUE),
+              out.engineStats.prefetchesIssued);
+
+    // Stream-hit events carry the residual stall; the stalled subset
+    // must match the pending counter.
+    std::uint64_t stalled = 0;
+    for (const EventRecord &r : events.events()) {
+        if (r.event == TraceEvent::STREAM_HIT && r.arg > 0)
+            ++stalled;
+    }
+    EXPECT_EQ(stalled, out.results.streamHitsPending);
+}
+
+TEST(EventTraceIntegration, FilterVerdictsCoverEveryStreamMiss)
+{
+    EventTrace events;
+    RunOutput out = tracedRun(
+        paperSystemConfig(8, AllocationPolicy::UNIT_FILTER), &events);
+    std::uint64_t accepts = events.count(TraceEvent::FILTER_ACCEPT);
+    std::uint64_t rejects = events.count(TraceEvent::FILTER_REJECT);
+    EXPECT_EQ(accepts + rejects, out.engineStats.streamMisses);
+    // Unit-filter-only engine: every accept allocates a stream.
+    EXPECT_EQ(accepts, out.engineStats.allocations);
+}
+
+TEST(EventTraceIntegration, CzoneAssignsFollowEveryReject)
+{
+    EventTrace events;
+    RunOutput out = tracedRun(
+        paperSystemConfig(8, AllocationPolicy::UNIT_FILTER,
+                          StrideDetection::CZONE, 18),
+        &events, "fftpde");
+    EXPECT_EQ(events.count(TraceEvent::CZONE_ASSIGN),
+              events.count(TraceEvent::FILTER_REJECT));
+    EXPECT_GT(events.count(TraceEvent::CZONE_ASSIGN), 0u);
+    EXPECT_EQ(events.count(TraceEvent::STREAM_HIT),
+              out.engineStats.hits);
+}
+
+TEST(EventTraceIntegration, VictimAndWritebackEventsMatchCounters)
+{
+    MemorySystemConfig config = paperSystemConfig(8);
+    config.victimBufferEntries = 4;
+    EventTrace events;
+    RunOutput out = tracedRun(config, &events, "is");
+    EXPECT_EQ(events.count(TraceEvent::VICTIM_HIT),
+              out.results.victimHits);
+
+    // Without a victim buffer every L1 write-back leaves the chip and
+    // is an L1_WRITEBACK event.
+    MemorySystemConfig plain = paperSystemConfig(8);
+    EventTrace plain_events;
+    RunOutput plain_out = tracedRun(plain, &plain_events, "is");
+    EXPECT_EQ(plain_events.count(TraceEvent::L1_WRITEBACK),
+              plain_out.results.writebacks);
+}
+
+TEST(EventTraceIntegration, CyclesAreMonotonic)
+{
+    EventTrace events;
+    tracedRun(paperSystemConfig(8), &events);
+    std::uint64_t last = 0;
+    for (const EventRecord &r : events.events()) {
+        EXPECT_GE(r.cycle, last);
+        last = r.cycle;
+    }
+}
+
+TEST(EventTraceIntegration, AttachingATraceDoesNotPerturbResults)
+{
+    // The observer must be free: bit-identical results with and
+    // without the trace attached.
+    EventTrace events;
+    RunOutput with = tracedRun(paperSystemConfig(8), &events);
+    RunOutput without = tracedRun(paperSystemConfig(8), nullptr);
+    EXPECT_EQ(with.results.cycles, without.results.cycles);
+    EXPECT_EQ(with.results.l1Misses, without.results.l1Misses);
+    EXPECT_EQ(with.engineStats.hits, without.engineStats.hits);
+    EXPECT_EQ(with.engineStats.prefetchesIssued,
+              without.engineStats.prefetchesIssued);
+    EXPECT_EQ(with.results.avgAccessCycles,
+              without.results.avgAccessCycles);
+}

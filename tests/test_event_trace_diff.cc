@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Differential test extending the sweep runner's determinism contract
+ * to the structural event traces: the per-job event stream captured
+ * by a parallel sweep must be bit-identical (every cycle, address,
+ * argument and kind) to a serial runOnce loop, for any worker count.
+ * Under -DSTREAMSIM_SANITIZE=thread (`ctest -L tsan`) this also
+ * proves the per-job traces share no state across workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.hh"
+#include "trace/time_sampler.hh"
+#include "workloads/benchmark.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 80000;
+
+struct GridPoint
+{
+    std::string benchmark;
+    MemorySystemConfig config;
+};
+
+std::vector<GridPoint>
+grid()
+{
+    MemorySystemConfig victim = paperSystemConfig(8);
+    victim.victimBufferEntries = 4;
+    return {
+        {"mgrid", paperSystemConfig(10)},
+        {"fftpde",
+         paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                           StrideDetection::CZONE, 18)},
+        {"is", victim},
+    };
+}
+
+} // namespace
+
+class EventTraceDifferential : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(EventTraceDifferential, BitIdenticalToSerialCapture)
+{
+    unsigned workers = GetParam();
+
+    // Serial ground truth: one runOnce per grid point, events attached.
+    std::vector<GridPoint> points = grid();
+    std::vector<EventTrace> want(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        auto workload =
+            findBenchmark(points[i].benchmark).makeWorkload();
+        TruncatingSource limited(*workload, kRefs);
+        runOnce(limited, points[i].config, &want[i]);
+        ASSERT_GT(want[i].size(), 0u) << points[i].benchmark;
+    }
+
+    // Parallel capture through the sweep runner.
+    std::vector<EventTrace> got(points.size());
+    std::vector<SweepJob> jobs;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepJob job = benchmarkJob(points[i].benchmark,
+                                    ScaleLevel::DEFAULT,
+                                    points[i].config, "", kRefs);
+        job.eventTrace = &got[i];
+        jobs.push_back(std::move(job));
+    }
+    SweepRunner(workers).run(jobs);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE(points[i].benchmark);
+        ASSERT_EQ(got[i].size(), want[i].size());
+        // Record-level equality first (cheap, exact)...
+        EXPECT_EQ(got[i].events(), want[i].events());
+        // ...then the serialised form, which is what ships to disk.
+        std::ostringstream got_os, want_os;
+        got[i].writeJsonl(got_os);
+        want[i].writeJsonl(want_os);
+        EXPECT_EQ(got_os.str(), want_os.str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, EventTraceDifferential,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const auto &info) {
+                             return "j" + std::to_string(info.param);
+                         });
+
+TEST(EventTraceSweep, JobsWithoutTracesStayDetached)
+{
+    std::vector<SweepJob> jobs = {benchmarkJob(
+        "mgrid", ScaleLevel::DEFAULT, paperSystemConfig(4), "", 20000)};
+    std::vector<SweepResult> results = SweepRunner(2).run(jobs);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].references, 0u);
+}

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Regression tests for the trace I/O failure paths:
+ *  - TraceWriter must not count records whose write failed, and must
+ *    verify the final header rewrite in close() (disk-full safety);
+ *  - TraceReader must treat a torn partial record as fatal corruption
+ *    but a clean record-boundary truncation as a warning;
+ *  - reset() must re-validate the header from byte 0 instead of
+ *    trusting stale counters;
+ *  - decodeRecord must reject zero / non-power-of-two sizes and
+ *    nonzero padding before they reach the cache index math.
+ * Each of these fails on the pre-fix code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "trace/file_trace.hh"
+#include "util/logging.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 20;
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<MemAccess>
+sampleTrace()
+{
+    return {makeLoad(0x1000), makeStore(0x2008, 4), makeIfetch(0x40),
+            makeLoad(0x1020), makeIfetch(0x44), makeStore(0x2010)};
+}
+
+void
+writeSampleTrace(const std::string &path)
+{
+    TraceWriter writer(path);
+    for (const MemAccess &a : sampleTrace())
+        writer.append(a);
+}
+
+/**
+ * A streambuf that accepts at most @p limit bytes and then fails
+ * every write — an in-memory full disk. Seeks "succeed" (the header
+ * rewrite is positional) but do not reclaim budget.
+ */
+class BoundedBuf : public std::streambuf
+{
+  public:
+    explicit BoundedBuf(std::size_t limit) : limit_(limit) {}
+
+  protected:
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        if (written_ + static_cast<std::size_t>(n) > limit_)
+            return 0;
+        written_ += static_cast<std::size_t>(n);
+        return n;
+    }
+
+    int_type
+    overflow(int_type ch) override
+    {
+        if (written_ + 1 > limit_)
+            return traits_type::eof();
+        ++written_;
+        return ch;
+    }
+
+    pos_type
+    seekoff(off_type off, std::ios_base::seekdir,
+            std::ios_base::openmode) override
+    {
+        return pos_type(off);
+    }
+
+    pos_type
+    seekpos(pos_type pos, std::ios_base::openmode) override
+    {
+        return pos;
+    }
+
+  private:
+    std::size_t limit_;
+    std::size_t written_ = 0;
+};
+
+/** A streambuf whose writes succeed but whose flush always fails —
+ *  the buffered-data-lost-at-close failure mode. */
+class SyncFailBuf : public std::streambuf
+{
+  protected:
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+
+    int_type overflow(int_type ch) override { return ch; }
+
+    pos_type
+    seekoff(off_type off, std::ios_base::seekdir,
+            std::ios_base::openmode) override
+    {
+        return pos_type(off);
+    }
+
+    pos_type
+    seekpos(pos_type pos, std::ios_base::openmode) override
+    {
+        return pos;
+    }
+
+    int sync() override { return -1; }
+};
+
+/** An ostream owning one of the failure-injection buffers above. */
+template <typename Buf>
+class BufStream : public std::ostream
+{
+  public:
+    template <typename... Args>
+    explicit BufStream(Args &&...args)
+        : std::ostream(nullptr), buf_(std::forward<Args>(args)...)
+    {
+        rdbuf(&buf_);
+    }
+
+  private:
+    Buf buf_;
+};
+
+/** Write a header claiming @p count records, then @p payload bytes. */
+void
+writeRawFile(const std::string &path, std::uint64_t count,
+             const std::vector<unsigned char> &payload)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("SBTR", 4);
+    std::uint32_t version = 2;
+    out.write(reinterpret_cast<const char *>(&version), 4);
+    out.write(reinterpret_cast<const char *>(&count), 8);
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+}
+
+/** One raw on-disk record with every field spelled out. */
+std::vector<unsigned char>
+rawRecord(std::uint64_t addr, std::uint64_t pc, unsigned char type,
+          unsigned char size, unsigned char pad0 = 0,
+          unsigned char pad1 = 0)
+{
+    std::vector<unsigned char> out(kRecordBytes, 0);
+    std::memcpy(out.data(), &addr, 8);
+    std::memcpy(out.data() + 8, &pc, 8);
+    out[16] = type;
+    out[17] = size;
+    out[18] = pad0;
+    out[19] = pad1;
+    return out;
+}
+
+/** Captures SBSIM_WARN messages. */
+class CaptureSink : public LogSink
+{
+  public:
+    void
+    message(const std::string &severity, const std::string &text) override
+    {
+        entries.push_back(severity + ": " + text);
+    }
+
+    std::vector<std::string> entries;
+};
+
+} // namespace
+
+// --- TraceWriter failure paths -------------------------------------
+
+TEST(TraceWriterDeath, FailedRecordWriteIsFatalWithTrueCount)
+{
+    // Budget: header + exactly two records. The third append's write
+    // fails, and the error must report two records — proving the
+    // counter was not bumped for the record that never hit the stream.
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(
+                std::make_unique<BufStream<BoundedBuf>>(
+                    kHeaderBytes + 2 * kRecordBytes),
+                "bounded");
+            for (const MemAccess &a : sampleTrace())
+                writer.append(a);
+        },
+        ::testing::ExitedWithCode(1),
+        "trace write failed after 2 records: bounded");
+}
+
+TEST(TraceWriterDeath, FailedHeaderFinalizeIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(
+                std::make_unique<BufStream<SyncFailBuf>>(), "syncfail");
+            writer.append(makeLoad(0x1000));
+            writer.close();
+        },
+        ::testing::ExitedWithCode(1),
+        "failed to finalize trace header of syncfail");
+}
+
+TEST(TraceWriter, InjectedStreamRoundTrips)
+{
+    // The injectable-stream constructor itself must be byte-compatible
+    // with the file path: write via an owned stringstream-backed file.
+    std::string path = tempPath("sbsim_injected.trace");
+    {
+        auto file = std::make_unique<std::ofstream>(
+            path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(*file);
+        TraceWriter writer(std::move(file), path);
+        for (const MemAccess &a : sampleTrace())
+            writer.append(a);
+        EXPECT_EQ(writer.recordsWritten(), 6u);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 6u);
+    EXPECT_EQ(drain(reader).size(), 6u);
+    EXPECT_FALSE(reader.truncated());
+    std::remove(path.c_str());
+}
+
+// --- Torn record vs clean truncation -------------------------------
+
+TEST(TraceReaderDeath, TornRecordIsFatalInNext)
+{
+    std::string path = tempPath("sbsim_torn_next.trace");
+    writeSampleTrace(path);
+    // Cut mid-way through record 2: 7 stray bytes after a boundary.
+    std::filesystem::resize_file(path,
+                                 kHeaderBytes + 2 * kRecordBytes + 7);
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess a;
+            while (reader.next(a)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "torn record 2");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderDeath, TornRecordIsFatalInNextBatch)
+{
+    std::string path = tempPath("sbsim_torn_batch.trace");
+    writeSampleTrace(path);
+    std::filesystem::resize_file(path,
+                                 kHeaderBytes + 3 * kRecordBytes + 5);
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess batch[16];
+            reader.nextBatch(batch, 16);
+        },
+        ::testing::ExitedWithCode(1), "torn record 3");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, CleanTruncationWarnsAndStops)
+{
+    std::string path = tempPath("sbsim_clean_trunc.trace");
+    writeSampleTrace(path);
+    // Cut exactly on a record boundary: 2 of the 6 records survive.
+    std::filesystem::resize_file(path, kHeaderBytes + 2 * kRecordBytes);
+
+    CaptureSink sink;
+    setLogSink(&sink);
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 6u);
+    std::vector<MemAccess> all = drain(reader);
+    setLogSink(nullptr);
+
+    EXPECT_EQ(all.size(), 2u);
+    EXPECT_TRUE(reader.truncated());
+    ASSERT_EQ(sink.entries.size(), 1u);
+    EXPECT_NE(sink.entries[0].find("truncated at record 2 of 6"),
+              std::string::npos)
+        << sink.entries[0];
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, CleanTruncationWarnsAndStopsInBatch)
+{
+    std::string path = tempPath("sbsim_clean_trunc_batch.trace");
+    writeSampleTrace(path);
+    std::filesystem::resize_file(path, kHeaderBytes + 4 * kRecordBytes);
+
+    CaptureSink sink;
+    setLogSink(&sink);
+    TraceReader reader(path);
+    MemAccess batch[16];
+    std::size_t got = reader.nextBatch(batch, 16);
+    setLogSink(nullptr);
+
+    EXPECT_EQ(got, 4u);
+    EXPECT_TRUE(reader.truncated());
+    EXPECT_EQ(reader.nextBatch(batch, 16), 0u);
+    ASSERT_EQ(sink.entries.size(), 1u);
+    std::remove(path.c_str());
+}
+
+// --- reset() re-validation -----------------------------------------
+
+TEST(TraceReader, ResetAfterTruncationRereadsAndClearsFlag)
+{
+    std::string path = tempPath("sbsim_reset_trunc.trace");
+    writeSampleTrace(path);
+    std::filesystem::resize_file(path, kHeaderBytes + 2 * kRecordBytes);
+
+    CaptureSink sink;
+    setLogSink(&sink);
+    TraceReader reader(path);
+    EXPECT_EQ(drain(reader).size(), 2u);
+    EXPECT_TRUE(reader.truncated());
+
+    reader.reset();
+    EXPECT_FALSE(reader.truncated());
+    EXPECT_EQ(drain(reader).size(), 2u);
+    EXPECT_TRUE(reader.truncated());
+    setLogSink(nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderDeath, ResetRevalidatesReplacedFile)
+{
+    std::string path = tempPath("sbsim_reset_replaced.trace");
+    writeSampleTrace(path);
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess a;
+            reader.next(a);
+            // The file changes underneath the open reader (same
+            // inode); reset() must notice instead of replaying stale
+            // counters against foreign bytes.
+            std::ofstream clobber(path,
+                                  std::ios::binary | std::ios::trunc);
+            clobber << "GARBAGE, NOT A TRACE";
+            clobber.close();
+            reader.reset();
+        },
+        ::testing::ExitedWithCode(1), "bad trace magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, ResetPicksUpGrownFile)
+{
+    // reset() re-reads the header, so a file that gained records
+    // (capture finished between passes) is replayed in full.
+    std::string path = tempPath("sbsim_reset_grown.trace");
+    {
+        TraceWriter writer(path);
+        writer.append(makeLoad(0x1000));
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 1u);
+    EXPECT_EQ(drain(reader).size(), 1u);
+    writeSampleTrace(path);
+    reader.reset();
+    EXPECT_EQ(reader.recordCount(), 6u);
+    EXPECT_EQ(drain(reader).size(), 6u);
+    std::remove(path.c_str());
+}
+
+// --- Record field validation ---------------------------------------
+
+TEST(TraceReaderDeath, ZeroSizeRecordIsCorrupt)
+{
+    std::string path = tempPath("sbsim_zero_size.trace");
+    writeRawFile(path, 1, rawRecord(0x1000, 0, /*type=*/1, /*size=*/0));
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess a;
+            reader.next(a);
+        },
+        ::testing::ExitedWithCode(1), "corrupt record 0");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderDeath, NonPowerOfTwoSizeIsCorrupt)
+{
+    std::string path = tempPath("sbsim_npot_size.trace");
+    writeRawFile(path, 1, rawRecord(0x1000, 0, /*type=*/1, /*size=*/3));
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess batch[4];
+            reader.nextBatch(batch, 4);
+        },
+        ::testing::ExitedWithCode(1), "corrupt record 0");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReaderDeath, NonzeroPaddingIsCorrupt)
+{
+    std::string path = tempPath("sbsim_padding.trace");
+    writeRawFile(path, 1,
+                 rawRecord(0x1000, 0, /*type=*/1, /*size=*/4,
+                           /*pad0=*/0xcc, /*pad1=*/0));
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            MemAccess a;
+            reader.next(a);
+        },
+        ::testing::ExitedWithCode(1), "corrupt record 0");
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, ValidPowerOfTwoSizesRoundTrip)
+{
+    std::string path = tempPath("sbsim_valid_sizes.trace");
+    std::vector<unsigned char> payload;
+    for (unsigned char size : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        std::vector<unsigned char> rec =
+            rawRecord(0x1000, 0x40, /*type=*/1, size);
+        payload.insert(payload.end(), rec.begin(), rec.end());
+    }
+    writeRawFile(path, 8, payload);
+    TraceReader reader(path);
+    std::vector<MemAccess> all = drain(reader);
+    ASSERT_EQ(all.size(), 8u);
+    EXPECT_EQ(all[0].size, 1u);
+    EXPECT_EQ(all[7].size, 128u);
+    std::remove(path.c_str());
+}

@@ -1,5 +1,6 @@
 #include "cli_commands.hh"
 
+#include <fstream>
 #include <memory>
 
 #include "sim/memory_system.hh"
@@ -7,6 +8,7 @@
 #include "trace/file_trace.hh"
 #include "trace/time_sampler.hh"
 #include "trace/trace_stats.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -24,6 +26,35 @@ printTable(const TablePrinter &table, const Options &o,
         table.printCsv(out);
     else
         table.print(out);
+}
+
+/** Open an export target, or die: a silently missing metrics file is
+ *  worse than no run at all. */
+std::ofstream
+openExport(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        SBSIM_FATAL("cannot open output file for writing: ", path);
+    return out;
+}
+
+/** One-row CSV of a single run's flattened metrics. */
+void
+writeRunCsv(const MetricsRegistry &reg, std::ostream &os)
+{
+    bool first = true;
+    for (const std::string &n : reg.flatFieldNames()) {
+        os << (first ? "" : ",") << csvQuote(n);
+        first = false;
+    }
+    os << '\n';
+    first = true;
+    for (const std::string &v : reg.flatFieldValues()) {
+        os << (first ? "" : ",") << csvQuote(v);
+        first = false;
+    }
+    os << '\n';
 }
 
 /**
@@ -68,8 +99,12 @@ runCommandImpl(const Options &o, std::ostream &out)
 {
     std::unique_ptr<TraceSource> input = makeInput(o);
     MemorySystem system(toSystemConfig(o));
+    EventTrace events;
+    if (!o.eventsOut.empty())
+        system.attachEventTrace(&events);
     std::uint64_t refs = system.run(*input);
-    SystemResults r = system.finish();
+    RunOutput run_output = collectOutput(system);
+    const SystemResults &r = run_output.results;
 
     TablePrinter table({"metric", "value"});
     table.addRow({"references", fmt(refs)});
@@ -106,6 +141,19 @@ runCommandImpl(const Options &o, std::ostream &out)
         }
         system.memory().stats().print(out);
     }
+
+    if (!o.jsonOut.empty()) {
+        std::ofstream js = openExport(o.jsonOut);
+        runMetrics(run_output).writeJson(js);
+    }
+    if (!o.csvOut.empty()) {
+        std::ofstream cs = openExport(o.csvOut);
+        writeRunCsv(runMetrics(run_output), cs);
+    }
+    if (!o.eventsOut.empty()) {
+        std::ofstream es = openExport(o.eventsOut);
+        events.writeJsonl(es);
+    }
     return 0;
 }
 
@@ -123,19 +171,27 @@ captureCommand(const Options &o, std::ostream &out)
 int
 sweepCommand(const Options &o, std::ostream &out)
 {
+    // Sized up front so the per-job pointers stay stable.
+    std::vector<EventTrace> event_traces(
+        o.eventsOut.empty() ? 0 : o.sweepValues.size());
+
     std::vector<SweepJob> jobs;
     jobs.reserve(o.sweepValues.size());
-    for (std::uint32_t n : o.sweepValues) {
+    for (std::size_t i = 0; i < o.sweepValues.size(); ++i) {
         Options point = o;
-        point.streams = n;
+        point.streams = o.sweepValues[i];
         SweepJob job;
-        job.label = std::to_string(n);
+        job.label = std::to_string(o.sweepValues[i]);
         job.config = toSystemConfig(point);
         job.makeSource = [point] { return makeInput(point); };
+        if (!event_traces.empty())
+            job.eventTrace = &event_traces[i];
         jobs.push_back(std::move(job));
     }
 
     SweepRunner runner(o.jobs);
+    if (o.progress)
+        runner.setHeartbeat(true);
     double wall = 0;
     std::vector<SweepResult> results;
     {
@@ -157,6 +213,22 @@ sweepCommand(const Options &o, std::ostream &out)
             << fmt(total_refs) << " refs in " << fmt(wall, 2) << " s ("
             << fmt(wall > 0 ? total_refs / wall : 0.0, 0)
             << " refs/s aggregate, " << runner.jobs() << " workers)\n";
+    }
+
+    if (!o.jsonOut.empty()) {
+        std::ofstream js = openExport(o.jsonOut);
+        writeSweepJson(results, js);
+    }
+    if (!o.csvOut.empty()) {
+        std::ofstream cs = openExport(o.csvOut);
+        writeSweepCsv(results, cs);
+    }
+    if (!o.eventsOut.empty()) {
+        // Jobs in submission order, so the file is identical for any
+        // worker count.
+        std::ofstream es = openExport(o.eventsOut);
+        for (const EventTrace &t : event_traces)
+            t.writeJsonl(es);
     }
     return 0;
 }

@@ -205,6 +205,20 @@ parseArgs(const std::vector<std::string> &args)
             o.fullStats = true;
         } else if (a == "--csv") {
             o.csv = true;
+        } else if (a == "--json-out") {
+            if (!need_value(i, a))
+                return result;
+            o.jsonOut = args[++i];
+        } else if (a == "--csv-out") {
+            if (!need_value(i, a))
+                return result;
+            o.csvOut = args[++i];
+        } else if (a == "--events") {
+            if (!need_value(i, a))
+                return result;
+            o.eventsOut = args[++i];
+        } else if (a == "--progress") {
+            o.progress = true;
         } else if (a == "--values") {
             if (!need_value(i, a))
                 return result;
@@ -253,6 +267,13 @@ parseArgs(const std::vector<std::string> &args)
     }
     if (o.command == Command::CAPTURE && o.outFile.empty()) {
         result.error = "capture needs --out FILE";
+        return result;
+    }
+    if (o.command != Command::RUN && o.command != Command::SWEEP &&
+        (!o.jsonOut.empty() || !o.csvOut.empty() ||
+         !o.eventsOut.empty())) {
+        result.error =
+            "--json-out/--csv-out/--events apply to run and sweep only";
         return result;
     }
     return result;
@@ -330,6 +351,13 @@ output:
   --out FILE (-o)            capture target file
   --stats                    dump full component statistics
   --csv                      emit tables as CSV
+  --json-out FILE            structured metrics as versioned JSON
+                             (run and sweep)
+  --csv-out FILE             flattened metrics as CSV (run and sweep)
+  --events FILE              structural stream-event trace as JSONL
+                             (run and sweep; jobs in submission order)
+  --progress                 sweep heartbeat on stderr (also
+                             SBSIM_PROGRESS=1)
   --values A,B,C             sweep values (default 1,2,4,6,8,10)
   --jobs N (-j)              sweep worker threads (0 = auto from
                              SBSIM_JOBS or hardware concurrency;

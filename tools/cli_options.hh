@@ -59,6 +59,10 @@ struct Options
     std::string outFile;   ///< capture target.
     bool fullStats = false;
     bool csv = false;      ///< Machine-readable table output.
+    std::string jsonOut;   ///< Structured metrics JSON target.
+    std::string csvOut;    ///< Flattened metrics CSV target.
+    std::string eventsOut; ///< Structural event trace (JSONL) target.
+    bool progress = false; ///< Sweep heartbeat on stderr.
 
     // Sweep values (number of streams).
     std::vector<std::uint32_t> sweepValues = {1, 2, 4, 6, 8, 10};

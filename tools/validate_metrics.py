@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Validate streamsim --json-out files against tools/metrics.schema.json.
+
+Stdlib-only miniature JSON-Schema validator covering exactly the
+keyword subset the checked-in schema uses: $ref (into #/definitions),
+type, enum, const, properties, required, additionalProperties, items,
+minimum and oneOf.  CI runs this against a real sweep's output so a
+field rename/removal that forgets to update the schema (or bump
+schema_version) fails the build.
+
+Usage:
+    validate_metrics.py [--schema FILE] output.json [more.json ...]
+    validate_metrics.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def resolve_ref(ref, root):
+    if not ref.startswith("#/"):
+        raise ValueError("unsupported $ref: %s" % ref)
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path, errors):
+    """Append "path: problem" strings to *errors*; no exceptions."""
+    if "$ref" in schema:
+        validate(value, resolve_ref(schema["$ref"], root), root, path,
+                 errors)
+        return
+
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append("%s: expected %s, got %s"
+                          % (path, "/".join(types),
+                             type(value).__name__))
+            return
+
+    if "const" in schema and value != schema["const"]:
+        errors.append("%s: expected %r, got %r"
+                      % (path, schema["const"], value))
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not one of %r"
+                      % (path, value, schema["enum"]))
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) \
+            and value < schema["minimum"]:
+        errors.append("%s: %r below minimum %r"
+                      % (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append("%s: missing required field %r"
+                              % (path, name))
+        for name, sub in value.items():
+            if name in props:
+                validate(sub, props[name], root,
+                         "%s.%s" % (path, name), errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append("%s: unexpected field %r (schema update "
+                              "needed?)" % (path, name))
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root,
+                     "%s[%d]" % (path, i), errors)
+
+    for i, branch in enumerate(schema.get("oneOf", [])):
+        branch_errors = []
+        validate(value, branch, root, path, branch_errors)
+        if not branch_errors:
+            break
+    else:
+        if schema.get("oneOf"):
+            errors.append("%s: matches no oneOf branch" % path)
+
+
+def validate_file(json_path, schema):
+    with open(json_path) as f:
+        doc = json.load(f)
+    errors = []
+    validate(doc, schema, schema, "$", errors)
+    return errors
+
+
+def self_test(schema):
+    """Prove the validator still rejects each class of drift."""
+    good_run = {
+        "schema": "streamsim-metrics", "schema_version": 1,
+        "kind": "run", "sections": zero_sections(),
+    }
+    good_sweep = {
+        "schema": "streamsim-metrics", "schema_version": 1,
+        "kind": "sweep",
+        "jobs": [{"label": "1", "references": 0, "wall_seconds": 0,
+                  "refs_per_second": None,
+                  "sections": zero_sections()}],
+        "aggregate": {"jobs": 1, "references": 0, "wall_seconds": 0,
+                      "refs_per_second": None},
+    }
+    cases = [
+        ("valid run accepted", good_run, True),
+        ("valid sweep accepted", good_sweep, True),
+        ("version bump rejected",
+         {**good_run, "schema_version": 2}, False),
+        ("missing section rejected",
+         {**good_run, "sections": {
+             k: v for k, v in zero_sections().items() if k != "cycles"
+         }}, False),
+        ("renamed field rejected",
+         {**good_run, "sections": {
+             **zero_sections(),
+             "run": {"refs": 0, "instruction_refs": 0, "data_refs": 0},
+         }}, False),
+        ("negative counter rejected",
+         {**good_run, "sections": {
+             **zero_sections(),
+             "victim": {"hits": -1, "hit_rate_pct": 0},
+         }}, False),
+        ("string-typed counter rejected",
+         {**good_run, "sections": {
+             **zero_sections(),
+             "victim": {"hits": "3", "hit_rate_pct": 0},
+         }}, False),
+        ("run without sections rejected",
+         {"schema": "streamsim-metrics", "schema_version": 1,
+          "kind": "run"}, False),
+        ("sweep without aggregate rejected",
+         {k: v for k, v in good_sweep.items() if k != "aggregate"},
+         False),
+    ]
+    failed = 0
+    for name, doc, want_ok in cases:
+        errors = []
+        validate(doc, schema, schema, "$", errors)
+        ok = not errors
+        if ok != want_ok:
+            failed += 1
+            print("self-test FAILED: %s (errors: %s)" % (name, errors))
+    if failed:
+        return 1
+    print("self-test: %d cases passed" % len(cases))
+    return 0
+
+
+def zero_sections():
+    return {
+        "run": {"references": 0, "instruction_refs": 0, "data_refs": 0},
+        "l1": {"misses": 0, "data_misses": 0, "writebacks": 0,
+               "miss_rate_pct": 0, "data_miss_rate_pct": 0,
+               "misses_per_instruction_pct": 0},
+        "streams": {"lookups": 0, "hits": 0, "stream_misses": 0,
+                    "allocations": 0, "prefetches_issued": 0,
+                    "useless_flushed": 0, "useless_invalidated": 0,
+                    "hit_rate_pct": 0, "extra_bandwidth_pct": 0,
+                    "hits_ready": 0, "hits_pending": 0},
+        "stream_lengths": {"share_pct_1_5": 0, "share_pct_6_10": 0,
+                           "share_pct_11_15": 0, "share_pct_16_20": 0,
+                           "share_pct_gt_20": 0},
+        "victim": {"hits": 0, "hit_rate_pct": 0},
+        "l2": {"hits": 0, "misses": 0, "local_hit_rate_pct": 0},
+        "sw_prefetch": {"total": 0, "issued": 0, "redundant": 0},
+        "cycles": {"total": 0, "avg_access_cycles": 0, "l1_hit": 0,
+                   "victim_hit": 0, "stream_hit": 0, "stream_stall": 0,
+                   "demand_fetch": 0, "bus_queue": 0,
+                   "sw_prefetch_issue": 0},
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="JSON files to check")
+    parser.add_argument("--schema",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "metrics.schema.json"))
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the validator's own test cases first")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    status = 0
+    if args.self_test:
+        status = self_test(schema)
+        if status:
+            return status
+    if not args.files and not args.self_test:
+        parser.error("no input files (or --self-test) given")
+
+    for json_path in args.files:
+        errors = validate_file(json_path, schema)
+        if errors:
+            status = 1
+            print("%s: INVALID" % json_path)
+            for e in errors:
+                print("  " + e)
+        else:
+            print("%s: ok" % json_path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
