@@ -11,8 +11,10 @@
 #include "cache/cache.hh"
 #include "sim/experiment.hh"
 #include "sim/memory_system.hh"
+#include "sim/sweep_runner.hh"
 #include "stream/prefetch_engine.hh"
 #include "trace/time_sampler.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/benchmark.hh"
 
 using namespace sbsim;
@@ -96,6 +98,65 @@ BM_RunBenchmark(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * kRefs));
 }
 BENCHMARK(BM_RunBenchmark)->Unit(benchmark::kMillisecond);
+
+/**
+ * The workload the trace-reuse layer targets: a sweep family — one
+ * benchmark swept across stream counts behind a shared L1 front end.
+ * Naive regenerates the workload and re-simulates the L1 per point;
+ * Cached materialises the reference trace and records the post-L1
+ * miss stream once, then replays it per point. Single worker, so the
+ * ratio isolates the algorithmic saving from thread-pool scaling;
+ * tools/bench_throughput.sh tracks the end-to-end counterpart under
+ * the "sweeps" key of BENCH_throughput.json.
+ */
+constexpr std::uint64_t kFamilyRefs = 200000;
+const std::uint32_t kFamilyStreams[] = {1, 2, 4, 6, 8, 10};
+
+std::vector<SweepJob>
+sweepFamilyJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (std::uint32_t s : kFamilyStreams) {
+        jobs.push_back(benchmarkJob("mgrid", ScaleLevel::DEFAULT,
+                                    paperSystemConfig(s),
+                                    std::to_string(s), kFamilyRefs));
+    }
+    return jobs;
+}
+
+void
+BM_SweepFamilyNaive(benchmark::State &state)
+{
+    for (auto _ : state) {
+        std::vector<SweepJob> jobs = sweepFamilyJobs();
+        SweepRunner runner(1);
+        runner.setTraceCacheEnabled(false);
+        std::vector<SweepResult> results = runner.run(jobs);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kFamilyRefs * std::size(kFamilyStreams)));
+}
+BENCHMARK(BM_SweepFamilyNaive)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFamilyCached(benchmark::State &state)
+{
+    for (auto _ : state) {
+        // Start cold each iteration so the measurement amortises one
+        // materialise + record over the family, exactly as a fresh
+        // sweep process would.
+        TraceCache::instance().clear();
+        std::vector<SweepJob> jobs = sweepFamilyJobs();
+        SweepRunner runner(1);
+        runner.setTraceCacheEnabled(true);
+        std::vector<SweepResult> results = runner.run(jobs);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kFamilyRefs * std::size(kFamilyStreams)));
+}
+BENCHMARK(BM_SweepFamilyCached)->Unit(benchmark::kMillisecond);
 
 void
 BM_WorkloadGeneration(benchmark::State &state)

@@ -14,6 +14,13 @@
  * Both halves of the study are parallel: the ten stream runs go
  * through the SweepRunner, and the ten set-sampled L2 studies fan out
  * over the same worker budget via parallelFor.
+ *
+ * Both halves also share one front end per (benchmark, input) pair,
+ * so with the trace cache on each workload is generated and pushed
+ * through the L1 exactly once: the recorded miss trace is replayed by
+ * the stream half (SweepJob::missTrace) and its DEMAND records feed
+ * the candidate battery directly (replayMissesInto). SBSIM_TRACE_CACHE=0
+ * restores the naive twice-through-everything path.
  */
 
 #include <iostream>
@@ -94,14 +101,45 @@ main()
     }
 
     SweepRunner runner;
+    const bool cached = runner.traceCacheEnabled();
     double wall = 0;
+    std::vector<std::shared_ptr<const MissTrace>> misses(
+        stream_jobs.size());
     std::vector<SweepResult> stream_results;
     std::vector<std::vector<L2Result>> l2_results(stream_jobs.size());
     {
         ScopedTimer timer(wall);
+        if (cached) {
+            // One recording per (benchmark, input): the stream half
+            // replays it below and the L2 half consumes its DEMAND
+            // records, so the cached path also guarantees both halves
+            // see exactly the same reference stream.
+            parallelFor(stream_jobs.size(), runner.jobs(),
+                        [&](std::size_t i) {
+                            SweepJob &job = stream_jobs[i];
+                            misses[i] =
+                                TraceCache::instance().getOrRecord(
+                                    missTraceKey(job.sourceKey,
+                                                 job.config),
+                                    [&job] {
+                                        auto src = job.makeSource();
+                                        return recordMissTrace(
+                                            *src, job.config);
+                                    });
+                            job.missTrace = misses[i];
+                        });
+        }
         stream_results = runner.run(stream_jobs);
         parallelFor(stream_jobs.size(), runner.jobs(),
                     [&](std::size_t i) {
+                        if (cached) {
+                            SecondaryCacheStudy study(
+                                table4CandidateConfigs(),
+                                /*sample_log2=*/3);
+                            replayMissesInto(study, *misses[i]);
+                            l2_results[i] = study.results();
+                            return;
+                        }
                         l2_results[i] = l2HitRates(
                             names[i / levels.size()],
                             levels[i % levels.size()]);

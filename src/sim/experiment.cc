@@ -38,9 +38,18 @@ collectOutput(MemorySystem &system)
         for (std::size_t i = 0; i < dist.size(); ++i)
             out.lengthSharesPercent.push_back(dist.sharePercent(i));
     }
-    if (const VictimBuffer *vb = system.victimBuffer())
-        out.victimHitRatePercent = vb->hitRatePercent();
+    // Replay-aware: a replayed system reports the rate captured at
+    // record time instead of probing its (idle) victim buffer.
+    out.victimHitRatePercent = system.victimHitRatePercent();
     return out;
+}
+
+RunOutput
+replayOnce(const MissTrace &trace, const MemorySystemConfig &config)
+{
+    MemorySystem system(config);
+    system.replayMissTrace(trace);
+    return collectOutput(system);
 }
 
 RunOutput

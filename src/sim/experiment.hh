@@ -52,6 +52,18 @@ RunOutput collectOutput(MemorySystem &system);
 RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config);
 
 /**
+ * Drive only the secondary level of @p config from a recorded post-L1
+ * stream (MemorySystem::replayMissTrace). The trace must have been
+ * recorded under @p config's front end (same frontEndKey); the output
+ * is bit-identical to runOnce over the original source. Event traces
+ * are deliberately unsupported here: front-end events (victim hits,
+ * L1 activity) cannot be re-emitted from a miss trace, so the sweep
+ * planner never routes event-traced jobs through replay.
+ */
+RunOutput replayOnce(const MissTrace &trace,
+                     const MemorySystemConfig &config);
+
+/**
  * As above, with an optional structural event trace attached for the
  * duration of the run (@p events may be nullptr; caller-owned).
  */

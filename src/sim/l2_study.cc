@@ -21,10 +21,14 @@ void
 SecondaryCacheStudy::onL1Miss(const MemAccess &access)
 {
     ++missesSeen_;
-    for (auto &cache : caches_) {
-        if (cache.accepts(access.addr))
-            cache.access(access);
-    }
+    // Every candidate shares one sampling function (the constructor
+    // hands each the same log2 / residue / shift), so the slice test
+    // runs once per miss instead of once per candidate — with 1/2^3
+    // sampling, 7/8 of misses skip the candidate loop entirely.
+    if (!caches_.front().accepts(access.addr))
+        return;
+    for (auto &cache : caches_)
+        cache.access(access);
 }
 
 std::vector<L2Result>
@@ -62,6 +66,27 @@ L2StudyDriver::run(TraceSource &src)
         processAccess(a);
         ++n;
     }
+    return n;
+}
+
+std::uint64_t
+replayMissesInto(SecondaryCacheStudy &study, const MissTrace &trace)
+{
+    // A victim buffer would filter misses out of the stream and
+    // software prefetches would perturb L1 contents relative to the
+    // driver's bare L1 — either would make the recorded stream diverge
+    // from what L2StudyDriver presents.
+    SBSIM_ASSERT(trace.summary().victimHits == 0 &&
+                     trace.summary().swPrefetches == 0,
+                 "miss trace incompatible with the bare-L1 study front "
+                 "end");
+    std::uint64_t n = 0;
+    trace.forEach([&](const MissRecord &rec) {
+        if (rec.kind != MissRecord::Kind::DEMAND)
+            return;
+        study.onL1Miss(rec.access);
+        ++n;
+    });
     return n;
 }
 

@@ -18,6 +18,7 @@
 
 #include "cache/set_sampler.hh"
 #include "cache/split_cache.hh"
+#include "trace/miss_trace.hh"
 #include "trace/source.hh"
 #include "util/metrics.hh"
 
@@ -77,6 +78,17 @@ class L2StudyDriver
     SplitCache l1_;
     SecondaryCacheStudy study_;
 };
+
+/**
+ * Feed every recorded DEMAND miss of @p trace to @p study — the
+ * miss-stream equivalent of L2StudyDriver::run. Valid only for traces
+ * recorded under the driver's front end: a bare split L1 (no victim
+ * buffer, no software prefetches — asserted) with identity
+ * translation, so the recorded addresses equal the virtual ones the
+ * driver would present. @return demand misses fed.
+ */
+std::uint64_t replayMissesInto(SecondaryCacheStudy &study,
+                               const MissTrace &trace);
 
 /**
  * The Table 4 candidate grid: sizes 64 KB..4 MB, associativity 1-4,

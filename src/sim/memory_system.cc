@@ -1,5 +1,8 @@
 #include "memory_system.hh"
 
+#include <sstream>
+
+#include "trace/materialized_trace.hh"
 #include "util/audit.hh"
 #include "util/logging.hh"
 
@@ -52,6 +55,8 @@ MemorySystem::writebackToMemory(BlockAddr block)
 {
     // Write-backs bypass the streams on their way down and invalidate
     // any stale copies (Section 3).
+    if (missRecorder_)
+        recordMissEvent(MissRecord::Kind::WRITEBACK, makeLoad(block));
     SBSIM_EVENT(events_, cycles_, TraceEvent::L1_WRITEBACK, block, 0);
     if (engine_)
         engine_->onWriteback(block);
@@ -132,7 +137,7 @@ MemorySystem::processAccess(const MemAccess &virt_access)
         ++swPrefetchesIssued_;
         CacheResult fill = l1_.fill(access.addr, AccessType::LOAD);
         handleEviction(fill);
-        fetchBlock(access, TrafficKind::PREFETCH);
+        secondarySwPrefetchFetch(access);
         return;
     }
 
@@ -162,6 +167,23 @@ MemorySystem::processAccess(const MemAccess &virt_access)
             return;
         }
     }
+
+    secondaryDemand(access);
+}
+
+void
+MemorySystem::secondarySwPrefetchFetch(const MemAccess &access)
+{
+    if (missRecorder_)
+        recordMissEvent(MissRecord::Kind::SW_PREFETCH, access);
+    fetchBlock(access, TrafficKind::PREFETCH);
+}
+
+void
+MemorySystem::secondaryDemand(const MemAccess &access)
+{
+    if (missRecorder_)
+        recordMissEvent(MissRecord::Kind::DEMAND, access);
 
     // Consult the streams next.
     if (engine_) {
@@ -214,6 +236,29 @@ MemorySystem::processAccess(const MemAccess &virt_access)
 std::uint64_t
 MemorySystem::run(TraceSource &src)
 {
+    if (auto *view = dynamic_cast<SharedTraceView *>(&src)) {
+        // Zero-copy fast path: process the shared buffer in place.
+        // Chunked so the checked-build monotonic-clock audit keeps the
+        // same granularity as the batched path below.
+        std::uint64_t n = 0;
+        const MemAccess *span;
+        std::size_t got;
+        while ((got = view->nextSpan(&span)) > 0) {
+            for (std::size_t off = 0; off < got; off += kRunBatch) {
+                std::size_t chunk = std::min(kRunBatch, got - off);
+#ifdef STREAMSIM_CHECKED
+                std::uint64_t cycles_before = cycles_;
+#endif
+                for (std::size_t i = 0; i < chunk; ++i)
+                    processAccess(span[off + i]);
+                SBSIM_AUDIT(cycles_ >= cycles_before,
+                            "cycle clock ran backwards across a batch");
+                n += chunk;
+            }
+        }
+        return n;
+    }
+
     // Drain fixed-size batches into a stack buffer: one virtual
     // nextBatch() dispatch per kRunBatch references instead of one
     // next() per reference. Equivalence with the serial path is pinned
@@ -240,6 +285,115 @@ MemorySystem::run(TraceSource &src)
     return n;
 }
 
+void
+MemorySystem::recordMissEvent(MissRecord::Kind kind,
+                              const MemAccess &access)
+{
+    missRecorder_->append(
+        kind, access, cyclesL1Hit_.value() - recBaseL1HitCycles_,
+        cyclesVictimHit_.value() - recBaseVictimHitCycles_,
+        cyclesSwPrefetch_.value() - recBaseSwPrefetchCycles_);
+    recBaseL1HitCycles_ = cyclesL1Hit_.value();
+    recBaseVictimHitCycles_ = cyclesVictimHit_.value();
+    recBaseSwPrefetchCycles_ = cyclesSwPrefetch_.value();
+}
+
+void
+MemorySystem::applyFrontEndDeltas(std::uint64_t d_l1_hit,
+                                  std::uint64_t d_victim_hit,
+                                  std::uint64_t d_sw_prefetch)
+{
+    cycles_ += d_l1_hit + d_victim_hit + d_sw_prefetch;
+    cyclesL1Hit_ += d_l1_hit;
+    cyclesVictimHit_ += d_victim_hit;
+    cyclesSwPrefetch_ += d_sw_prefetch;
+}
+
+void
+MemorySystem::attachMissRecorder(MissTrace *trace)
+{
+    SBSIM_ASSERT(!finished_ && !replayed_,
+                 "attachMissRecorder on a finished/replayed system");
+    missRecorder_ = trace;
+    recBaseL1HitCycles_ = cyclesL1Hit_.value();
+    recBaseVictimHitCycles_ = cyclesVictimHit_.value();
+    recBaseSwPrefetchCycles_ = cyclesSwPrefetch_.value();
+}
+
+void
+MemorySystem::finalizeMissRecorder()
+{
+    SBSIM_ASSERT(missRecorder_, "finalizeMissRecorder without recorder");
+    MissTraceSummary &s = missRecorder_->summary();
+    s.instructionRefs = l1_.icache().accesses();
+    s.dataRefs = l1_.dcache().accesses();
+    s.swPrefetches = swPrefetches_.value();
+    s.swPrefetchesIssued = swPrefetchesIssued_.value();
+    s.swPrefetchesRedundant = swPrefetchesRedundant_.value();
+    s.references = s.instructionRefs + s.dataRefs + s.swPrefetches;
+    s.l1Misses = l1_.misses();
+    s.l1DataMisses = l1_.dcache().misses();
+    s.victimHits = victimHits_.value();
+    s.writebacks =
+        l1_.icache().writebacks() + l1_.dcache().writebacks();
+    // Derived percentages are captured as computed doubles so a
+    // replayed finish() reports them bitwise-identically.
+    s.l1MissRatePercent = l1_.missRatePercent();
+    s.l1DataMissRatePercent = l1_.dcache().missRatePercent();
+    s.missesPerInstructionPercent =
+        percent(s.l1DataMisses, s.instructionRefs);
+    s.victimHitRatePercent =
+        victimBuffer_ ? victimBuffer_->hitRatePercent() : 0.0;
+    s.tailL1HitCycles = cyclesL1Hit_.value() - recBaseL1HitCycles_;
+    s.tailVictimHitCycles =
+        cyclesVictimHit_.value() - recBaseVictimHitCycles_;
+    s.tailSwPrefetchCycles =
+        cyclesSwPrefetch_.value() - recBaseSwPrefetchCycles_;
+    missRecorder_->shrink();
+    missRecorder_ = nullptr;
+}
+
+std::uint64_t
+MemorySystem::replayMissTrace(const MissTrace &trace)
+{
+    SBSIM_ASSERT(!finished_ && !replayed_,
+                 "replayMissTrace on a finished/replayed system");
+    SBSIM_ASSERT(!missRecorder_,
+                 "replayMissTrace while recording");
+    trace.forEach([this](const MissRecord &rec) {
+        // Restore the cycle clock to exactly where the front end left
+        // it before this event, then let the secondary level advance
+        // it as a full run would.
+        applyFrontEndDeltas(rec.dL1HitCycles, rec.dVictimHitCycles,
+                            rec.dSwPrefetchCycles);
+        switch (rec.kind) {
+          case MissRecord::Kind::WRITEBACK:
+            writebackToMemory(rec.access.addr);
+            break;
+          case MissRecord::Kind::SW_PREFETCH:
+            secondarySwPrefetchFetch(rec.access);
+            break;
+          case MissRecord::Kind::DEMAND:
+            secondaryDemand(rec.access);
+            break;
+        }
+    });
+    const MissTraceSummary &s = trace.summary();
+    applyFrontEndDeltas(s.tailL1HitCycles, s.tailVictimHitCycles,
+                        s.tailSwPrefetchCycles);
+    replaySummary_ = s;
+    replayed_ = true;
+    return s.references;
+}
+
+double
+MemorySystem::victimHitRatePercent() const
+{
+    if (replayed_)
+        return replaySummary_.victimHitRatePercent;
+    return victimBuffer_ ? victimBuffer_->hitRatePercent() : 0.0;
+}
+
 SystemResults
 MemorySystem::finish()
 {
@@ -250,21 +404,40 @@ MemorySystem::finish()
     }
 
     SystemResults r;
-    r.instructionRefs = l1_.icache().accesses();
-    r.dataRefs = l1_.dcache().accesses();
-    r.swPrefetches = swPrefetches_.value();
-    r.swPrefetchesIssued = swPrefetchesIssued_.value();
-    r.swPrefetchesRedundant = swPrefetchesRedundant_.value();
+    if (replayed_) {
+        // The front end never ran here; report the summary captured
+        // at record time (bitwise-identical to the naive run's).
+        r.instructionRefs = replaySummary_.instructionRefs;
+        r.dataRefs = replaySummary_.dataRefs;
+        r.swPrefetches = replaySummary_.swPrefetches;
+        r.swPrefetchesIssued = replaySummary_.swPrefetchesIssued;
+        r.swPrefetchesRedundant = replaySummary_.swPrefetchesRedundant;
+        r.l1Misses = replaySummary_.l1Misses;
+        r.l1DataMisses = replaySummary_.l1DataMisses;
+        r.victimHits = replaySummary_.victimHits;
+        r.writebacks = replaySummary_.writebacks;
+        r.l1MissRatePercent = replaySummary_.l1MissRatePercent;
+        r.l1DataMissRatePercent =
+            replaySummary_.l1DataMissRatePercent;
+        r.missesPerInstructionPercent =
+            replaySummary_.missesPerInstructionPercent;
+    } else {
+        r.instructionRefs = l1_.icache().accesses();
+        r.dataRefs = l1_.dcache().accesses();
+        r.swPrefetches = swPrefetches_.value();
+        r.swPrefetchesIssued = swPrefetchesIssued_.value();
+        r.swPrefetchesRedundant = swPrefetchesRedundant_.value();
+        r.l1Misses = l1_.misses();
+        r.l1DataMisses = l1_.dcache().misses();
+        r.victimHits = victimHits_.value();
+        r.writebacks =
+            l1_.icache().writebacks() + l1_.dcache().writebacks();
+        r.l1MissRatePercent = l1_.missRatePercent();
+        r.l1DataMissRatePercent = l1_.dcache().missRatePercent();
+        r.missesPerInstructionPercent =
+            percent(r.l1DataMisses, r.instructionRefs);
+    }
     r.references = r.instructionRefs + r.dataRefs + r.swPrefetches;
-    r.l1Misses = l1_.misses();
-    r.l1DataMisses = l1_.dcache().misses();
-    r.victimHits = victimHits_.value();
-    r.writebacks = l1_.icache().writebacks() + l1_.dcache().writebacks();
-
-    r.l1MissRatePercent = l1_.missRatePercent();
-    r.l1DataMissRatePercent = l1_.dcache().missRatePercent();
-    r.missesPerInstructionPercent =
-        percent(r.l1DataMisses, r.instructionRefs);
 
     if (engine_) {
         const StreamEngineStats &es = engine_->engineStats();
@@ -299,6 +472,46 @@ MemorySystem::finish()
             : static_cast<double>(cycles_) /
                   static_cast<double>(r.references);
     return r;
+}
+
+std::string
+frontEndKey(const MemorySystemConfig &config)
+{
+    std::ostringstream os;
+    auto cache = [&os](const CacheConfig &c) {
+        os << c.sizeBytes << '/' << c.assoc << '/' << c.blockSize << '/'
+           << static_cast<int>(c.replacement) << '/' << c.writeAllocate
+           << c.writeBack << '/' << c.seed;
+    };
+    os << "l1i:";
+    cache(config.l1.icache);
+    os << ";l1d:";
+    cache(config.l1.dcache);
+    os << ";hit:" << config.l1HitCycles
+       << ";vb:" << config.victimBufferEntries << '/'
+       << config.victimHitCycles
+       << ";xl:" << static_cast<int>(config.translation) << '/'
+       << config.pageBits << '/' << config.translationSeed;
+    return os.str();
+}
+
+MissTrace
+recordMissTrace(TraceSource &src, const MemorySystemConfig &config)
+{
+    // Only the front end matters for the recorded stream; stripping
+    // streams, L2 and the bus makes the recording run roughly an
+    // L1-only simulation. (The stripped parameters are exactly the
+    // ones frontEndKey excludes.)
+    MemorySystemConfig fe = config;
+    fe.useStreams = false;
+    fe.useL2 = false;
+    fe.busCyclesPerBlock = 0;
+    MemorySystem system(fe);
+    MissTrace trace;
+    system.attachMissRecorder(&trace);
+    system.run(src);
+    system.finalizeMissRecorder();
+    return trace;
 }
 
 } // namespace sbsim

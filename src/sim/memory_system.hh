@@ -19,11 +19,14 @@
 #include <memory>
 #include <optional>
 
+#include <string>
+
 #include "cache/split_cache.hh"
 #include "cache/victim_buffer.hh"
 #include "mem/main_memory.hh"
 #include "mem/translation.hh"
 #include "stream/prefetch_engine.hh"
+#include "trace/miss_trace.hh"
 #include "trace/source.hh"
 #include "util/event_trace.hh"
 #include "util/stats.hh"
@@ -180,6 +183,40 @@ class MemorySystem
      */
     SystemResults finish();
 
+    /**
+     * Record the post-L1 stream (demand misses, software-prefetch
+     * fetches, write-backs, with front-end cycle deltas) into
+     * @p trace while accesses are processed. Caller-owned; must
+     * outlive the run. Call finalizeMissRecorder() afterwards to fill
+     * the trace's front-end summary. Recording is orthogonal to the
+     * configured secondary level, but the canonical recording config
+     * (see recordMissTrace) disables streams/L2/bus so the recording
+     * run is itself cheap.
+     */
+    void attachMissRecorder(MissTrace *trace);
+
+    /** Flush trailing cycle deltas and capture the front-end summary
+     *  into the attached recorder. Must precede finish(). */
+    void finalizeMissRecorder();
+
+    /**
+     * Drive only the secondary level (streams / L2 / bus / memory)
+     * from a recorded post-L1 stream. The trace must have been
+     * recorded under a front end matching this system's (same
+     * frontEndKey); streams, L2 and bus parameters are free to
+     * differ. finish() afterwards reports results bit-identical to a
+     * full run of the original reference trace.
+     * @return references the recorded run processed.
+     */
+    std::uint64_t replayMissTrace(const MissTrace &trace);
+
+    /**
+     * Victim-buffer local hit rate (%), replay-aware: a replayed run
+     * reports the rate captured at record time (its own victim buffer
+     * is never probed). 0 without a victim buffer.
+     */
+    double victimHitRatePercent() const;
+
     const SplitCache &l1() const { return l1_; }
     const Cache *l2() const { return l2_.get(); }
     const MainMemory &memory() const { return memory_; }
@@ -199,6 +236,23 @@ class MemorySystem
   private:
     /** Handle an eviction: via the victim buffer when present. */
     void handleEviction(const CacheResult &result);
+
+    /** Secondary-level service of a demand miss that escaped the L1
+     *  and victim buffer: streams, then L2/memory. */
+    void secondaryDemand(const MemAccess &access);
+
+    /** Secondary-level service of a software prefetch that missed the
+     *  L1 (the front end already charged the issue slot). */
+    void secondarySwPrefetchFetch(const MemAccess &access);
+
+    /** Append one record to the attached recorder, flushing the
+     *  front-end cycle deltas accumulated since the previous one. */
+    void recordMissEvent(MissRecord::Kind kind, const MemAccess &access);
+
+    /** Advance the cycle clock by recorded front-end deltas. */
+    void applyFrontEndDeltas(std::uint64_t d_l1_hit,
+                             std::uint64_t d_victim_hit,
+                             std::uint64_t d_sw_prefetch);
 
     /** A dirty block leaves the chip for memory. */
     void writebackToMemory(BlockAddr block);
@@ -243,7 +297,38 @@ class MemorySystem
 
     EventTrace *events_ = nullptr;
     bool finished_ = false;
+
+    /** Miss-stream recording state (attachMissRecorder): snapshots of
+     *  the front-end cycle counters at the previous record. Per-event
+     *  deltas are derived by subtraction in recordMissEvent, so
+     *  recording adds no work to the L1-hit fast path. */
+    MissTrace *missRecorder_ = nullptr;
+    std::uint64_t recBaseL1HitCycles_ = 0;
+    std::uint64_t recBaseVictimHitCycles_ = 0;
+    std::uint64_t recBaseSwPrefetchCycles_ = 0;
+
+    /** Front-end summary adopted by finish() after replayMissTrace. */
+    MissTraceSummary replaySummary_;
+    bool replayed_ = false;
 };
+
+/**
+ * Canonical cache key for the L1 front end of @p config: every
+ * parameter that can change the post-L1 stream (L1 geometry /
+ * replacement / seeds, hit latency, victim buffer, page translation)
+ * and nothing that cannot (streams, L2, bus, memory latency). Two
+ * configs with equal keys share one MissTrace per source.
+ */
+std::string frontEndKey(const MemorySystemConfig &config);
+
+/**
+ * Simulate only the front end of @p config over @p src and return the
+ * recorded post-L1 stream (summary finalized). The recording run
+ * disables streams, L2 and the bus model, so it costs about one
+ * L1-only simulation.
+ */
+MissTrace recordMissTrace(TraceSource &src,
+                          const MemorySystemConfig &config);
 
 } // namespace sbsim
 

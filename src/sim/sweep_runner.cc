@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include "trace/materialized_trace.hh"
 #include "trace/time_sampler.hh"
 #include "util/env.hh"
 #include "util/metrics.hh"
@@ -21,11 +24,22 @@ benchmarkJob(const std::string &benchmark_name, ScaleLevel level,
     SweepJob job;
     job.label = label.empty() ? benchmark_name : std::move(label);
     job.config = config;
-    job.makeSource = [benchmark_name, level, ref_limit,
+    // The source key names the exact reference sequence the factory
+    // below produces; jobs built from the same arguments share it (and
+    // therefore one materialised trace / one recording per front end).
+    job.sourceKey = "bench|" + benchmark_name + '|' +
+                    std::to_string(static_cast<int>(level)) + '|' +
+                    std::to_string(ref_limit) + '|' +
+                    (time_sample ? "ts" : "full");
+    // Registry entries are static, so the resolved reference outlives
+    // every closure; capturing it also moves the name lookup out of
+    // the factory (it used to re-run findBenchmark per invocation on a
+    // per-closure copy of the string).
+    const Benchmark &benchmark = findBenchmark(benchmark_name);
+    job.makeSource = [&benchmark, level, ref_limit,
                       time_sample]() -> std::unique_ptr<TraceSource> {
         auto chain = std::make_unique<OwningSourceChain>();
-        TraceSource *base = &chain->add(
-            findBenchmark(benchmark_name).makeWorkload(level));
+        TraceSource *base = &chain->add(benchmark.makeWorkload(level));
         if (time_sample) {
             base = &chain->add(
                 std::make_unique<TimeSampler>(*base, 10000, 90000));
@@ -85,8 +99,18 @@ parallelFor(std::size_t count, unsigned jobs,
 
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? defaultJobs() : jobs),
-      heartbeat_(envBool("SBSIM_PROGRESS").value_or(false))
+      heartbeat_(envBool("SBSIM_PROGRESS").value_or(false)),
+      traceCache_(TraceCache::enabledByEnv())
 {}
+
+std::string
+missTraceKey(const std::string &source_key,
+             const MemorySystemConfig &config)
+{
+    // 0x1f (ASCII unit separator) cannot appear in either component,
+    // so distinct (source, front end) pairs never collide.
+    return source_key + '\x1f' + frontEndKey(config);
+}
 
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs) const
@@ -94,6 +118,149 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     // Results live in pre-sized slots indexed by submission order, so
     // completion order never matters.
     std::vector<SweepResult> results(jobs.size());
+
+    // --- Plan: decide per job how it will be serviced. Purely a
+    // throughput decision — every mode is pinned bit-identical to
+    // NAIVE by tests/test_sweep_runner.cc and tests/test_miss_trace.cc.
+    enum class Mode { NAIVE, SHARED_VIEW, REPLAY };
+    struct Plan
+    {
+        Mode mode = Mode::NAIVE;
+        std::shared_ptr<const MaterializedTrace> trace;
+        std::shared_ptr<const MissTrace> miss;
+    };
+    std::vector<Plan> plans(jobs.size());
+
+    // Pre-recorded miss traces are an explicit caller request, honoured
+    // independently of the cache toggle (event-traced jobs excepted:
+    // replay cannot re-emit front-end events).
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].missTrace && !jobs[i].eventTrace)
+            plans[i] = {Mode::REPLAY, nullptr, jobs[i].missTrace};
+    }
+
+    if (traceCache_) {
+        TraceCache &cache = TraceCache::instance();
+
+        // Group the remaining keyed jobs into replay families (one
+        // recording per (source, front end) pair) and view-only jobs
+        // (event capture needs the raw reference stream).
+        struct Family
+        {
+            std::vector<std::size_t> members;
+            bool record = false;
+        };
+        std::map<std::string, Family> families;
+        std::vector<std::size_t> viewOnly;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            if (plans[i].mode == Mode::REPLAY || job.sourceKey.empty())
+                continue;
+            if (job.eventTrace) {
+                viewOnly.push_back(i);
+                continue;
+            }
+            families[missTraceKey(job.sourceKey, job.config)]
+                .members.push_back(i);
+        }
+
+        // A family records when replay amortises (>= 2 members) or the
+        // recording is already resident; singleton families instead
+        // fall through to sharing the raw reference trace.
+        for (auto &entry : families) {
+            Family &fam = entry.second;
+            fam.record = fam.members.size() >= 2 ||
+                         cache.lookupMissTrace(entry.first) != nullptr;
+        }
+
+        // Count prospective readers per source key; materialise when
+        // at least two would otherwise regenerate the same stream, or
+        // when the trace is already resident (reuse is then free).
+        std::map<std::string, std::size_t> readers;
+        for (std::size_t i : viewOnly)
+            ++readers[jobs[i].sourceKey];
+        for (const auto &entry : families) {
+            const Family &fam = entry.second;
+            const SweepJob &leader = jobs[fam.members.front()];
+            if (fam.record) {
+                if (!cache.lookupMissTrace(entry.first))
+                    ++readers[leader.sourceKey];
+            } else {
+                readers[leader.sourceKey] += fam.members.size();
+            }
+        }
+        std::vector<std::string> to_materialize;
+        for (const auto &entry : readers) {
+            if (entry.second >= 2 || cache.lookupRefTrace(entry.first))
+                to_materialize.push_back(entry.first);
+        }
+
+        // Representative factory per source key (factories that share
+        // a key are interchangeable by the SweepJob contract).
+        std::map<std::string, std::size_t> factory_job;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!jobs[i].sourceKey.empty() && jobs[i].makeSource)
+                factory_job.emplace(jobs[i].sourceKey, i);
+        }
+
+        // Phase A: materialise shared reference traces in parallel.
+        std::vector<std::shared_ptr<const MaterializedTrace>> mats(
+            to_materialize.size());
+        parallelFor(to_materialize.size(), jobs_, [&](std::size_t k) {
+            const std::string &key = to_materialize[k];
+            mats[k] = cache.getOrMaterialize(
+                key, jobs[factory_job.at(key)].makeSource);
+        });
+        std::map<std::string, std::shared_ptr<const MaterializedTrace>>
+            mat_traces;
+        for (std::size_t k = 0; k < to_materialize.size(); ++k)
+            mat_traces.emplace(to_materialize[k], mats[k]);
+
+        // Phase B: record one miss trace per recording family, reading
+        // from the shared reference trace when one exists.
+        std::vector<const Family *> rec_fams;
+        std::vector<const std::string *> rec_keys;
+        for (const auto &entry : families) {
+            if (entry.second.record) {
+                rec_keys.push_back(&entry.first);
+                rec_fams.push_back(&entry.second);
+            }
+        }
+        std::vector<std::shared_ptr<const MissTrace>> misses(
+            rec_fams.size());
+        parallelFor(rec_fams.size(), jobs_, [&](std::size_t k) {
+            const SweepJob &leader = jobs[rec_fams[k]->members.front()];
+            misses[k] = cache.getOrRecord(*rec_keys[k], [&]() {
+                auto it = mat_traces.find(leader.sourceKey);
+                if (it != mat_traces.end()) {
+                    SharedTraceView view(it->second);
+                    return recordMissTrace(view, leader.config);
+                }
+                std::unique_ptr<TraceSource> src = leader.makeSource();
+                return recordMissTrace(*src, leader.config);
+            });
+        });
+        for (std::size_t k = 0; k < rec_fams.size(); ++k) {
+            for (std::size_t i : rec_fams[k]->members)
+                plans[i] = {Mode::REPLAY, nullptr, misses[k]};
+        }
+
+        // Everything left rides the shared reference trace when its
+        // key was materialised; otherwise it stays NAIVE.
+        auto assign_view = [&](std::size_t i) {
+            auto it = mat_traces.find(jobs[i].sourceKey);
+            if (it != mat_traces.end())
+                plans[i] = {Mode::SHARED_VIEW, it->second, nullptr};
+        };
+        for (std::size_t i : viewOnly)
+            assign_view(i);
+        for (const auto &entry : families) {
+            if (!entry.second.record) {
+                for (std::size_t i : entry.second.members)
+                    assign_view(i);
+            }
+        }
+    }
 
     // Heartbeat bookkeeping: integral atomics only (the derived rate
     // is computed at print time), stderr only, so the simulation
@@ -106,12 +273,21 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
     parallelFor(jobs.size(), jobs_, [&](std::size_t i) {
         const SweepJob &job = jobs[i];
+        const Plan &plan = plans[i];
         SweepResult &res = results[i];
         res.label = job.label;
         {
             ScopedTimer timer(res.wallSeconds);
-            std::unique_ptr<TraceSource> src = job.makeSource();
-            res.output = runOnce(*src, job.config, job.eventTrace);
+            if (plan.mode == Mode::REPLAY) {
+                TraceCache::instance().noteReplay();
+                res.output = replayOnce(*plan.miss, job.config);
+            } else if (plan.mode == Mode::SHARED_VIEW) {
+                SharedTraceView view(plan.trace);
+                res.output = runOnce(view, job.config, job.eventTrace);
+            } else {
+                std::unique_ptr<TraceSource> src = job.makeSource();
+                res.output = runOnce(*src, job.config, job.eventTrace);
+            }
         }
         res.references = res.output.results.references;
         res.refsPerSecond = res.wallSeconds > 0
@@ -132,6 +308,20 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                          static_cast<unsigned long long>(refs), rate);
         }
     });
+    if (heartbeat_ && traceCache_) {
+        TraceCacheStats s = TraceCache::instance().stats();
+        std::fprintf(
+            stderr,
+            "sweep: trace cache: ref %llu hit / %llu built, miss "
+            "%llu hit / %llu recorded, %llu replays, %llu bytes "
+            "resident\n",
+            static_cast<unsigned long long>(s.refTraceHits),
+            static_cast<unsigned long long>(s.refTracesMaterialized),
+            static_cast<unsigned long long>(s.missTraceHits),
+            static_cast<unsigned long long>(s.missTracesRecorded),
+            static_cast<unsigned long long>(s.replays),
+            static_cast<unsigned long long>(s.residentBytes));
+    }
     return results;
 }
 
@@ -153,7 +343,8 @@ SweepRunner::serialForced()
 }
 
 void
-writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os)
+writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os,
+               const TraceCacheStats *cache_stats)
 {
     os << "{\"schema\":\"streamsim-metrics\",\"schema_version\":"
        << kMetricsSchemaVersion << ",\"kind\":\"sweep\",\"jobs\":[";
@@ -180,7 +371,20 @@ writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os)
     os << "],\"aggregate\":{\"jobs\":" << results.size()
        << ",\"references\":" << total_refs
        << ",\"wall_seconds\":" << jsonNumber(total_wall)
-       << ",\"refs_per_second\":" << jsonNumber(rate) << "}}\n";
+       << ",\"refs_per_second\":" << jsonNumber(rate);
+    if (cache_stats) {
+        os << ",\"trace_cache\":{\"ref_trace_hits\":"
+           << cache_stats->refTraceHits
+           << ",\"ref_traces_materialized\":"
+           << cache_stats->refTracesMaterialized
+           << ",\"miss_trace_hits\":" << cache_stats->missTraceHits
+           << ",\"miss_traces_recorded\":"
+           << cache_stats->missTracesRecorded
+           << ",\"replays\":" << cache_stats->replays
+           << ",\"resident_bytes\":" << cache_stats->residentBytes
+           << '}';
+    }
+    os << "}}\n";
 }
 
 void

@@ -25,6 +25,11 @@
  *   SBSIM_SERIAL=B    force serial; B in 1/true/yes/on (or the
  *                     0/false/no/off negations).
  *   SBSIM_PROGRESS=B  emit the sweep heartbeat on stderr.
+ *   SBSIM_TRACE_CACHE=B  trace reuse across jobs (default on): jobs
+ *                     sharing a source key replay one materialised
+ *                     trace, and jobs also sharing an L1 front end
+ *                     replay one recorded miss stream. Bit-identical
+ *                     either way; see trace/trace_cache.hh.
  */
 
 #ifndef STREAMSIM_SIM_SWEEP_RUNNER_HH
@@ -38,6 +43,7 @@
 
 #include "sim/experiment.hh"
 #include "trace/source.hh"
+#include "trace/trace_cache.hh"
 #include "util/event_trace.hh"
 #include "workloads/benchmark.hh"
 
@@ -64,6 +70,26 @@ struct SweepJob
      * execution stays race-free and bit-identical to serial.
      */
     EventTrace *eventTrace = nullptr;
+
+    /**
+     * Dedup key of the job's input stream: jobs whose factories
+     * produce identical reference sequences must carry equal keys
+     * (benchmarkJob derives one from benchmark/scale/limit/sampling).
+     * Empty opts the job out of all trace reuse. The key feeds the
+     * runner's planner: equal source keys share one MaterializedTrace,
+     * and equal (source key, front-end key) pairs share one MissTrace
+     * and run as secondary-level replays.
+     */
+    std::string sourceKey;
+
+    /**
+     * Pre-recorded post-L1 stream for this job's front end (see
+     * recordMissTrace). When set — and the job carries no event trace
+     * — the runner services the job by replay without consulting the
+     * cache; table4_vs_l2 uses this to share one recording between
+     * the stream sweep and the L2 study.
+     */
+    std::shared_ptr<const MissTrace> missTrace;
 };
 
 /** A RunOutput plus per-job provenance and throughput. */
@@ -125,6 +151,16 @@ class SweepRunner
     bool heartbeat() const { return heartbeat_; }
 
     /**
+     * Enable/disable trace reuse (Level 1 materialisation + Level 2
+     * miss-stream replay) for this runner. Defaults to
+     * SBSIM_TRACE_CACHE (on when unset). Purely a performance knob:
+     * results are bit-identical either way, which
+     * tests/test_sweep_runner.cc pins differentially.
+     */
+    void setTraceCacheEnabled(bool on) { traceCache_ = on; }
+    bool traceCacheEnabled() const { return traceCache_; }
+
+    /**
      * Execute every job and return results in submission order.
      * Results are bit-identical for any worker count.
      */
@@ -148,16 +184,30 @@ class SweepRunner
   private:
     unsigned jobs_;
     bool heartbeat_;
+    bool traceCache_;
 };
+
+/**
+ * Cache key of a job's miss trace: the input stream's dedup key plus
+ * the front end that filters it. Exposed so bench harnesses priming
+ * the cache themselves (table4_vs_l2) land on the same entries the
+ * runner's planner uses.
+ */
+std::string missTraceKey(const std::string &source_key,
+                         const MemorySystemConfig &config);
 
 /**
  * Serialise sweep results as one JSON document: a "jobs" array of
  * per-job metric sections (label + the full runMetrics section set)
  * plus an "aggregate" object (job count, total references, wall
- * seconds, aggregate refs/s). Field order is deterministic.
+ * seconds, aggregate refs/s). Field order is deterministic. When
+ * @p cache_stats is non-null the aggregate also carries a
+ * "trace_cache" object (hits / materialisations / recordings /
+ * replays / resident bytes).
  */
 void writeSweepJson(const std::vector<SweepResult> &results,
-                    std::ostream &os);
+                    std::ostream &os,
+                    const TraceCacheStats *cache_stats = nullptr);
 
 /**
  * Serialise sweep results as CSV: one row per job (label, references,

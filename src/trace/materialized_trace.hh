@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Level-1 trace reuse: an immutable, flat MemAccess buffer produced
+ * once per unique (benchmark, scale, ref_limit, time_sample) source
+ * key, shared across sweep jobs via shared_ptr<const ...>, and
+ * replayed by SharedTraceView — a TraceSource whose batched path
+ * copies contiguous spans out of the shared buffer (and whose
+ * nextSpan() hands out zero-copy pointers for consumers that can take
+ * them, e.g. MemorySystem::run).
+ */
+
+#ifndef STREAMSIM_TRACE_MATERIALIZED_TRACE_HH
+#define STREAMSIM_TRACE_MATERIALIZED_TRACE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace sbsim {
+
+/** An immutable in-memory reference trace, safe to share between
+ *  threads (readers only ever see const state). */
+class MaterializedTrace
+{
+  public:
+    explicit MaterializedTrace(std::vector<MemAccess> refs)
+        : refs_(std::move(refs))
+    {}
+
+    /** Drain @p src to completion into a new shared trace. */
+    static std::shared_ptr<const MaterializedTrace>
+    fromSource(TraceSource &src)
+    {
+        std::vector<MemAccess> refs;
+        MemAccess buf[1024];
+        std::size_t got;
+        while ((got = src.nextBatch(buf, 1024)) > 0)
+            refs.insert(refs.end(), buf, buf + got);
+        refs.shrink_to_fit();
+        return std::make_shared<const MaterializedTrace>(std::move(refs));
+    }
+
+    const MemAccess *data() const { return refs_.data(); }
+    std::size_t size() const { return refs_.size(); }
+
+    /** Approximate resident footprint, for the cache report. */
+    std::size_t
+    bytes() const
+    {
+        return sizeof(*this) + refs_.capacity() * sizeof(MemAccess);
+    }
+
+  private:
+    std::vector<MemAccess> refs_;
+};
+
+/**
+ * A TraceSource view over a MaterializedTrace. Each consumer owns its
+ * own view (a cursor plus a strong reference keeping the trace
+ * alive), so any number of jobs replay the same buffer concurrently
+ * without synchronisation. Delivers exactly the materialised
+ * sequence: next(), nextBatch() and nextSpan() are interchangeable.
+ */
+class SharedTraceView final : public TraceSource
+{
+  public:
+    explicit SharedTraceView(
+        std::shared_ptr<const MaterializedTrace> trace)
+        : trace_(std::move(trace))
+    {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (pos_ >= trace_->size())
+            return false;
+        out = trace_->data()[pos_++];
+        return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess *out, std::size_t max) override
+    {
+        std::size_t n = std::min(max, trace_->size() - pos_);
+        std::copy_n(trace_->data() + pos_, n, out);
+        pos_ += n;
+        return n;
+    }
+
+    /**
+     * Zero-copy variant of nextBatch: point @p out at the remaining
+     * span of the shared buffer and consume it. The span stays valid
+     * for the lifetime of this view (which keeps the trace alive).
+     * @return the span length; 0 when exhausted.
+     */
+    std::size_t
+    nextSpan(const MemAccess **out)
+    {
+        *out = trace_->data() + pos_;
+        std::size_t n = trace_->size() - pos_;
+        pos_ = trace_->size();
+        return n;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::size_t remaining() const { return trace_->size() - pos_; }
+
+    const std::shared_ptr<const MaterializedTrace> &trace() const
+    {
+        return trace_;
+    }
+
+  private:
+    std::shared_ptr<const MaterializedTrace> trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_MATERIALIZED_TRACE_HH

@@ -48,14 +48,8 @@ class TimeSampler : public TraceSource
                             " of ", onCount_);
                 return true;
             }
-            // Skip the off window.
-            MemAccess dropped;
-            for (std::uint64_t i = 0; i < offCount_; ++i) {
-                if (!src_.next(dropped))
-                    return false;
-                ++skipped_;
-            }
-            inWindow_ = 0;
+            if (!skipOffWindow())
+                return false;
         }
     }
 
@@ -65,14 +59,8 @@ class TimeSampler : public TraceSource
         std::size_t n = 0;
         while (n < max) {
             if (inWindow_ == onCount_) {
-                // Skip the off window.
-                MemAccess dropped;
-                for (std::uint64_t i = 0; i < offCount_; ++i) {
-                    if (!src_.next(dropped))
-                        return n;
-                    ++skipped_;
-                }
-                inWindow_ = 0;
+                if (!skipOffWindow())
+                    return n;
             }
             // Pull the rest of the on window in one batched read.
             std::size_t want = static_cast<std::size_t>(
@@ -108,6 +96,31 @@ class TimeSampler : public TraceSource
     std::uint64_t skippedCount() const { return skipped_; }
 
   private:
+    /**
+     * Drop the off window, pulling the underlying source in batches
+     * (one virtual dispatch per 256 dropped references instead of one
+     * each — the off window is 9x the on window at the paper's 10%
+     * sampling, so this dominated the sampler's cost).
+     * @return false when the source ran dry mid-window.
+     */
+    bool
+    skipOffWindow()
+    {
+        MemAccess dropped[256];
+        std::uint64_t left = offCount_;
+        while (left > 0) {
+            std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, 256));
+            std::size_t got = src_.nextBatch(dropped, want);
+            skipped_ += got;
+            left -= got;
+            if (got < want)
+                return false;
+        }
+        inWindow_ = 0;
+        return true;
+    }
+
     TraceSource &src_;
     std::uint64_t onCount_;
     std::uint64_t offCount_;
@@ -116,7 +129,13 @@ class TimeSampler : public TraceSource
     std::uint64_t skipped_ = 0;
 };
 
-/** Truncates a source after a fixed number of references. */
+/**
+ * Truncates a source after a fixed number of references. The batched
+ * path clamps `max` and delegates straight to the underlying source's
+ * nextBatch, so a SharedTraceView below it costs one copy per
+ * reference (the memcpy into the consumer's batch buffer) and no
+ * per-record virtual dispatch.
+ */
 class TruncatingSource : public TraceSource
 {
   public:

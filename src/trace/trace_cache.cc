@@ -1,0 +1,126 @@
+#include "trace_cache.hh"
+
+#include "util/env.hh"
+
+namespace sbsim {
+
+TraceCache &
+TraceCache::instance()
+{
+    // Process-wide registry guarded by mutex_; it memoises values that
+    // are pure functions of their key, so sharing it across sweeps
+    // cannot make any result depend on run history.
+    static TraceCache cache; // determinism-lint: allow(static-state) mutex-guarded memo of key-deterministic traces; affects speed only, results are pinned cached==naive by differential tests
+    return cache;
+}
+
+bool
+TraceCache::enabledByEnv()
+{
+    return envBool("SBSIM_TRACE_CACHE").value_or(true);
+}
+
+std::shared_ptr<const MaterializedTrace>
+TraceCache::getOrMaterialize(
+    const std::string &key,
+    const std::function<std::unique_ptr<TraceSource>()> &make)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto trace = refTraces_[key].lock()) {
+            ++counters_.refTraceHits;
+            return trace;
+        }
+    }
+    // Produce outside the lock: materialisation is the expensive part
+    // and holding the mutex across it would serialise the sweep pool.
+    std::unique_ptr<TraceSource> src = make();
+    std::shared_ptr<const MaterializedTrace> produced =
+        MaterializedTrace::fromSource(*src);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto winner = refTraces_[key].lock()) {
+        // Lost the race; adopt the first writer's copy (identical
+        // content — production is deterministic per key).
+        ++counters_.refTraceHits;
+        return winner;
+    }
+    refTraces_[key] = produced;
+    ++counters_.refTracesMaterialized;
+    return produced;
+}
+
+std::shared_ptr<const MaterializedTrace>
+TraceCache::lookupRefTrace(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = refTraces_.find(key);
+    return it == refTraces_.end() ? nullptr : it->second.lock();
+}
+
+std::shared_ptr<const MissTrace>
+TraceCache::lookupMissTrace(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = missTraces_.find(key);
+    return it == missTraces_.end() ? nullptr : it->second.lock();
+}
+
+std::shared_ptr<const MissTrace>
+TraceCache::getOrRecord(const std::string &key,
+                        const std::function<MissTrace()> &record)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto trace = missTraces_[key].lock()) {
+            ++counters_.missTraceHits;
+            return trace;
+        }
+    }
+    auto produced =
+        std::make_shared<const MissTrace>(record());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto winner = missTraces_[key].lock()) {
+        ++counters_.missTraceHits;
+        return winner;
+    }
+    missTraces_[key] = produced;
+    ++counters_.missTracesRecorded;
+    return produced;
+}
+
+void
+TraceCache::noteReplay()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.replays;
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceCacheStats s = counters_;
+    s.residentBytes = 0;
+    for (const auto &entry : refTraces_) {
+        if (auto trace = entry.second.lock())
+            s.residentBytes += trace->bytes();
+    }
+    for (const auto &entry : missTraces_) {
+        if (auto trace = entry.second.lock())
+            s.residentBytes += trace->bytes();
+    }
+    return s;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    refTraces_.clear();
+    missTraces_.clear();
+    counters_ = TraceCacheStats{};
+}
+
+} // namespace sbsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Process-wide registry of shareable traces, keyed by caller-supplied
+ * strings. Two kinds of entry:
+ *
+ *  - reference traces (MaterializedTrace): the raw MemAccess stream of
+ *    one source key, shared by SharedTraceView consumers;
+ *  - miss traces (MissTrace): the post-L1 event stream of one
+ *    (source key, L1 front-end) pair, replayed by
+ *    MemorySystem::replayMissTrace.
+ *
+ * Entries are held as weak_ptr: the cache never pins memory on its
+ * own — a trace stays resident exactly as long as some consumer holds
+ * a strong reference, and a sweep's working set is released when its
+ * jobs finish. Population is thread-safe first-writer-wins: when two
+ * workers race to produce the same key, both produce, the first
+ * insert wins, and the loser adopts the winner's copy (results are
+ * identical either way because production is deterministic per key).
+ *
+ * The cache only ever affects *how fast* results are produced, never
+ * what they are — the differential tests in tests/test_sweep_runner.cc
+ * and tests/test_miss_trace.cc pin cached == naive bit-identically.
+ *
+ * Toggle: SBSIM_TRACE_CACHE (boolean, default on) or the CLI's
+ * --trace-cache flag; SweepRunner::setTraceCacheEnabled overrides per
+ * runner.
+ */
+
+#ifndef STREAMSIM_TRACE_TRACE_CACHE_HH
+#define STREAMSIM_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/materialized_trace.hh"
+#include "trace/miss_trace.hh"
+
+namespace sbsim {
+
+/** Counters for the cache-effectiveness report (stderr / sweep JSON
+ *  aggregate). Snapshot via TraceCache::stats(). */
+struct TraceCacheStats
+{
+    std::uint64_t refTraceHits = 0;
+    std::uint64_t refTracesMaterialized = 0;
+    std::uint64_t missTraceHits = 0;
+    std::uint64_t missTracesRecorded = 0;
+    /** Jobs served by miss-stream replay instead of a full run. */
+    std::uint64_t replays = 0;
+    /** Bytes of live (strongly referenced) cached traces right now. */
+    std::uint64_t residentBytes = 0;
+};
+
+/** The process-wide trace registry (see file comment). */
+class TraceCache
+{
+  public:
+    static TraceCache &instance();
+
+    /** SBSIM_TRACE_CACHE (strict boolean; default true when unset or
+     *  malformed — malformed values warn via envBool). */
+    static bool enabledByEnv();
+
+    /**
+     * Return the trace cached under @p key, or produce it by draining
+     * @p make()'s source. First-writer-wins on races. @p make must be
+     * deterministic for the key.
+     */
+    std::shared_ptr<const MaterializedTrace> getOrMaterialize(
+        const std::string &key,
+        const std::function<std::unique_ptr<TraceSource>()> &make);
+
+    /** Peek: the cached trace for @p key if still alive, else null.
+     *  Does not count as a hit. */
+    std::shared_ptr<const MaterializedTrace>
+    lookupRefTrace(const std::string &key) const;
+
+    /** Peek at a cached miss trace; does not count as a hit. */
+    std::shared_ptr<const MissTrace>
+    lookupMissTrace(const std::string &key) const;
+
+    /**
+     * Return the miss trace cached under @p key, or produce it via
+     * @p record (which must return a finalized MissTrace and be
+     * deterministic for the key). First-writer-wins on races.
+     */
+    std::shared_ptr<const MissTrace> getOrRecord(
+        const std::string &key,
+        const std::function<MissTrace()> &record);
+
+    /** Count one job served by miss-stream replay. */
+    void noteReplay();
+
+    /** Snapshot the counters plus current resident bytes. */
+    TraceCacheStats stats() const;
+
+    /** Drop all entries and zero the counters (tests). */
+    void clear();
+
+  private:
+    TraceCache() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::weak_ptr<const MaterializedTrace>>
+        refTraces_;
+    std::map<std::string, std::weak_ptr<const MissTrace>> missTraces_;
+    TraceCacheStats counters_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_TRACE_CACHE_HH

@@ -31,9 +31,20 @@ if(NOT status EQUAL 0)
     message(FATAL_ERROR "sweep --json-out failed: ${status}")
 endif()
 
+# Both aggregate shapes: cache on (trace_cache block present) and off.
+execute_process(
+    COMMAND ${STREAMSIM_CLI} sweep --benchmark mgrid --refs 50000
+            --values 1,4 --trace-cache off
+            --json-out ${work}/sweep_nocache.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "sweep --trace-cache off --json-out failed: ${status}")
+endif()
+
 execute_process(
     COMMAND ${PYTHON} ${SOURCE_DIR}/tools/validate_metrics.py
             --self-test ${work}/run.json ${work}/sweep.json
+            ${work}/sweep_nocache.json
     RESULT_VARIABLE status)
 if(NOT status EQUAL 0)
     message(FATAL_ERROR "schema validation failed: ${status}")

@@ -96,6 +96,36 @@ TEST(CliParse, SweepValues)
     EXPECT_FALSE(parse({"sweep", "-b", "is", "--values", "a"}).ok());
 }
 
+TEST(CliParse, TraceCacheToggle)
+{
+    // Unset: defer to SBSIM_TRACE_CACHE (nullopt).
+    ParseResult r = parse({"sweep", "-b", "is", "--values", "1,2"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.options.traceCache.has_value());
+
+    for (auto *on : {"on", "1", "true", "yes"}) {
+        r = parse({"sweep", "-b", "is", "--values", "1,2",
+                   "--trace-cache", on});
+        ASSERT_TRUE(r.ok()) << on << ": " << r.error;
+        ASSERT_TRUE(r.options.traceCache.has_value()) << on;
+        EXPECT_TRUE(*r.options.traceCache) << on;
+    }
+    for (auto *off : {"off", "0", "false", "no"}) {
+        r = parse({"sweep", "-b", "is", "--values", "1,2",
+                   "--trace-cache", off});
+        ASSERT_TRUE(r.ok()) << off << ": " << r.error;
+        ASSERT_TRUE(r.options.traceCache.has_value()) << off;
+        EXPECT_FALSE(*r.options.traceCache) << off;
+    }
+
+    EXPECT_FALSE(parse({"sweep", "-b", "is", "--values", "1,2",
+                        "--trace-cache", "maybe"})
+                     .ok());
+    EXPECT_FALSE(parse({"sweep", "-b", "is", "--values", "1,2",
+                        "--trace-cache"})
+                     .ok());
+}
+
 TEST(CliParse, ToSystemConfig)
 {
     ParseResult r = parse({"run", "-b", "trfd", "--streams", "6",

@@ -17,6 +17,7 @@
 
 #include "sim/sweep_runner.hh"
 #include "trace/time_sampler.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/benchmark.hh"
 
 using namespace sbsim;
@@ -145,6 +146,85 @@ INSTANTIATE_TEST_SUITE_P(Jobs, SweepRunnerDifferential,
                                         ? std::string("hardware")
                                         : "j" + std::to_string(info.param);
                          });
+
+// The reuse layer must never change results, only their cost: the same
+// grid run with the trace cache disabled (every job simulated naively)
+// and enabled (front end recorded once per family, members replayed)
+// must match bit for bit, and the enabled run must actually have taken
+// the record/replay path rather than silently degrading to naive.
+TEST(SweepRunner, TraceCacheOnAndOffBitIdentical)
+{
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> labels;
+    for (const std::string &benchmark : {std::string("mgrid"),
+                                         std::string("is")}) {
+        // A sweep family: secondary-level variants over one front end.
+        for (std::uint32_t streams : {2u, 6u, 10u}) {
+            labels.push_back(benchmark + "/streams" +
+                             std::to_string(streams));
+            jobs.push_back(benchmarkJob(benchmark, ScaleLevel::DEFAULT,
+                                        paperSystemConfig(streams),
+                                        labels.back(), kRefs));
+        }
+        labels.push_back(benchmark + "/czone");
+        jobs.push_back(benchmarkJob(
+            benchmark, ScaleLevel::DEFAULT,
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                              StrideDetection::CZONE, 18),
+            labels.back(), kRefs));
+    }
+
+    TraceCache::instance().clear();
+    SweepRunner off(2);
+    off.setTraceCacheEnabled(false);
+    EXPECT_FALSE(off.traceCacheEnabled());
+    std::vector<SweepResult> want = off.run(jobs);
+    TraceCacheStats off_stats = TraceCache::instance().stats();
+    EXPECT_EQ(off_stats.missTracesRecorded, 0u);
+    EXPECT_EQ(off_stats.replays, 0u);
+
+    SweepRunner on(2);
+    on.setTraceCacheEnabled(true);
+    std::vector<SweepResult> got = on.run(jobs);
+    TraceCacheStats on_stats = TraceCache::instance().stats();
+    // Two benchmarks x one shared front end each: one recording per
+    // family, every member (recorder included) served by replay.
+    EXPECT_EQ(on_stats.missTracesRecorded, 2u);
+    EXPECT_EQ(on_stats.replays, static_cast<std::uint64_t>(jobs.size()));
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].label, labels[i]);
+        expectIdentical(got[i].output, want[i].output, labels[i]);
+    }
+    TraceCache::instance().clear();
+}
+
+// An explicitly attached miss trace short-circuits the front end even
+// when the cache toggle is off (callers who recorded their own trace,
+// like the Table 4 bench, opt in per job).
+TEST(SweepRunner, ExplicitMissTraceHonouredWithCacheDisabled)
+{
+    auto workload = findBenchmark("mgrid").makeWorkload();
+    TruncatingSource limited(*workload, kRefs);
+    auto trace = std::make_shared<const MissTrace>(
+        recordMissTrace(limited, paperSystemConfig(4)));
+
+    SweepJob job = benchmarkJob("mgrid", ScaleLevel::DEFAULT,
+                                paperSystemConfig(4), "replayed", kRefs);
+    job.missTrace = trace;
+
+    TraceCache::instance().clear();
+    SweepRunner runner(1);
+    runner.setTraceCacheEnabled(false);
+    std::vector<SweepResult> got = runner.run({job});
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_GE(TraceCache::instance().stats().replays, 1u);
+    expectIdentical(got[0].output,
+                    serialRun("mgrid", paperSystemConfig(4)),
+                    "explicit-miss-trace");
+    TraceCache::instance().clear();
+}
 
 TEST(SweepRunner, ThroughputFieldsPopulated)
 {

@@ -175,6 +175,16 @@ sweepCommand(const Options &o, std::ostream &out)
     std::vector<EventTrace> event_traces(
         o.eventsOut.empty() ? 0 : o.sweepValues.size());
 
+    // Every sweep point reads the same input stream (only the stream
+    // count varies), so one source key covers the whole grid and the
+    // runner materialises/records it once.
+    const std::string source_key =
+        "cli|" +
+        (!o.benchmark.empty() ? "bench:" + o.benchmark
+                              : "file:" + o.traceFile) +
+        '|' + std::to_string(static_cast<int>(o.scale)) + '|' +
+        std::to_string(o.refs) + '|' + (o.timeSample ? "ts" : "full");
+
     std::vector<SweepJob> jobs;
     jobs.reserve(o.sweepValues.size());
     for (std::size_t i = 0; i < o.sweepValues.size(); ++i) {
@@ -183,6 +193,7 @@ sweepCommand(const Options &o, std::ostream &out)
         SweepJob job;
         job.label = std::to_string(o.sweepValues[i]);
         job.config = toSystemConfig(point);
+        job.sourceKey = source_key;
         job.makeSource = [point] { return makeInput(point); };
         if (!event_traces.empty())
             job.eventTrace = &event_traces[i];
@@ -192,6 +203,8 @@ sweepCommand(const Options &o, std::ostream &out)
     SweepRunner runner(o.jobs);
     if (o.progress)
         runner.setHeartbeat(true);
+    if (o.traceCache)
+        runner.setTraceCacheEnabled(*o.traceCache);
     double wall = 0;
     std::vector<SweepResult> results;
     {
@@ -217,7 +230,12 @@ sweepCommand(const Options &o, std::ostream &out)
 
     if (!o.jsonOut.empty()) {
         std::ofstream js = openExport(o.jsonOut);
-        writeSweepJson(results, js);
+        if (runner.traceCacheEnabled()) {
+            TraceCacheStats stats = TraceCache::instance().stats();
+            writeSweepJson(results, js, &stats);
+        } else {
+            writeSweepJson(results, js);
+        }
     }
     if (!o.csvOut.empty()) {
         std::ofstream cs = openExport(o.csvOut);

@@ -53,6 +53,19 @@ parseScale(const std::string &s, ScaleLevel &out)
 }
 
 bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "1" || s == "true" || s == "yes" || s == "on") {
+        out = true;
+    } else if (s == "0" || s == "false" || s == "no" || s == "off") {
+        out = false;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
 parseList(const std::string &s, std::vector<std::uint32_t> &out)
 {
     out.clear();
@@ -219,6 +232,15 @@ parseArgs(const std::vector<std::string> &args)
             o.eventsOut = args[++i];
         } else if (a == "--progress") {
             o.progress = true;
+        } else if (a == "--trace-cache") {
+            if (!need_value(i, a))
+                return result;
+            bool on = true;
+            if (!parseBool(args[++i], on)) {
+                result.error = "bad --trace-cache value (on|off)";
+                return result;
+            }
+            o.traceCache = on;
         } else if (a == "--values") {
             if (!need_value(i, a))
                 return result;
@@ -358,6 +380,10 @@ output:
                              (run and sweep; jobs in submission order)
   --progress                 sweep heartbeat on stderr (also
                              SBSIM_PROGRESS=1)
+  --trace-cache on|off       sweep trace reuse: shared materialised
+                             traces + L1 miss-stream replay (default
+                             on; also SBSIM_TRACE_CACHE). Purely a
+                             speed knob — results are bit-identical.
   --values A,B,C             sweep values (default 1,2,4,6,8,10)
   --jobs N (-j)              sweep worker threads (0 = auto from
                              SBSIM_JOBS or hardware concurrency;

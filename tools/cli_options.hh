@@ -63,6 +63,9 @@ struct Options
     std::string csvOut;    ///< Flattened metrics CSV target.
     std::string eventsOut; ///< Structural event trace (JSONL) target.
     bool progress = false; ///< Sweep heartbeat on stderr.
+    /** Sweep trace reuse (--trace-cache on|off). Unset defers to
+     *  SBSIM_TRACE_CACHE (default on); bit-identical either way. */
+    std::optional<bool> traceCache;
 
     // Sweep values (number of streams).
     std::vector<std::uint32_t> sweepValues = {1, 2, 4, 6, 8, 10};

@@ -120,9 +120,27 @@ def self_test(schema):
         "aggregate": {"jobs": 1, "references": 0, "wall_seconds": 0,
                       "refs_per_second": None},
     }
+    sweep_with_cache = {
+        **good_sweep,
+        "aggregate": {**good_sweep["aggregate"],
+                      "trace_cache": zero_trace_cache()},
+    }
     cases = [
         ("valid run accepted", good_run, True),
         ("valid sweep accepted", good_sweep, True),
+        ("sweep with trace_cache accepted", sweep_with_cache, True),
+        ("truncated trace_cache rejected",
+         {**good_sweep,
+          "aggregate": {**good_sweep["aggregate"],
+                        "trace_cache": {
+                            k: v for k, v in zero_trace_cache().items()
+                            if k != "replays"
+                        }}}, False),
+        ("unknown trace_cache field rejected",
+         {**good_sweep,
+          "aggregate": {**good_sweep["aggregate"],
+                        "trace_cache": {**zero_trace_cache(),
+                                        "evictions": 0}}}, False),
         ("version bump rejected",
          {**good_run, "schema_version": 2}, False),
         ("missing section rejected",
@@ -163,6 +181,12 @@ def self_test(schema):
         return 1
     print("self-test: %d cases passed" % len(cases))
     return 0
+
+
+def zero_trace_cache():
+    return {"ref_trace_hits": 0, "ref_traces_materialized": 0,
+            "miss_trace_hits": 0, "miss_traces_recorded": 0,
+            "replays": 0, "resident_bytes": 0}
 
 
 def zero_sections():
