@@ -10,6 +10,7 @@
 
 #include "cache/cache.hh"
 #include "sim/experiment.hh"
+#include "sim/l2_study.hh"
 #include "sim/memory_system.hh"
 #include "sim/sweep_runner.hh"
 #include "stream/prefetch_engine.hh"
@@ -157,6 +158,55 @@ BM_SweepFamilyCached(benchmark::State &state)
         state.iterations() * kFamilyRefs * std::size(kFamilyStreams)));
 }
 BENCHMARK(BM_SweepFamilyCached)->Unit(benchmark::kMillisecond);
+
+/**
+ * The analytic L2 engine against the simulated battery it replaces:
+ * one recorded miss stream priced over the whole Table 4 candidate
+ * grid. Arg(0) is the set-sampling log2 of the simulated baseline
+ * (0 = exact — the accuracy-equivalent comparison; 3 = the production
+ * 1/8 sampling). Items are demand misses consumed.
+ */
+MissTrace &
+analyticBenchTrace()
+{
+    static MissTrace trace = [] {
+        const Benchmark &bench = findBenchmark("mgrid");
+        auto workload = bench.makeWorkload(ScaleLevel::DEFAULT);
+        TruncatingSource limited(*workload, 400000);
+        MemorySystemConfig front;
+        front.l1 = SplitCacheConfig::paperDefault();
+        return recordMissTrace(limited, front);
+    }();
+    return trace;
+}
+
+void
+BM_AnalyticVsSimulatedL2(benchmark::State &state)
+{
+    const MissTrace &trace = analyticBenchTrace();
+    const bool analytic = state.range(0) < 0;
+    std::uint64_t fed = 0;
+    for (auto _ : state) {
+        if (analytic) {
+            AnalyticCacheStudy study(table4CandidateConfigs());
+            fed = profileMissesInto(study, trace);
+            benchmark::DoNotOptimize(study.results());
+        } else {
+            SecondaryCacheStudy study(
+                table4CandidateConfigs(),
+                static_cast<unsigned>(state.range(0)));
+            fed = replayMissesInto(study, trace);
+            benchmark::DoNotOptimize(study.results());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * fed));
+}
+BENCHMARK(BM_AnalyticVsSimulatedL2)
+    ->Arg(-1) // analytic engine
+    ->Arg(0)  // exact simulated battery
+    ->Arg(3)  // 1/8 set-sampled battery
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_WorkloadGeneration(benchmark::State &state)

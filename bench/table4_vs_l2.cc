@@ -21,8 +21,18 @@
  * the stream half (SweepJob::missTrace) and its DEMAND records feed
  * the candidate battery directly (replayMissesInto). SBSIM_TRACE_CACHE=0
  * restores the naive twice-through-everything path.
+ *
+ * With the trace cache on, the one-pass analytic engine
+ * (AnalyticCacheStudy) also prices the whole candidate grid from each
+ * miss trace, timed against both simulated backends: the exact
+ * (unsampled) battery it reproduces, and the 1/8 set-sampled battery
+ * the table uses. The closing report gives both speedups and the
+ * worst hit-rate deviation against each, over every (benchmark,
+ * input, candidate) point.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -103,10 +113,15 @@ main()
     SweepRunner runner;
     const bool cached = runner.traceCacheEnabled();
     double wall = 0;
+    double l2_sim_wall = 0;
+    double l2_exact_wall = 0;
+    double l2_ana_wall = 0;
     std::vector<std::shared_ptr<const MissTrace>> misses(
         stream_jobs.size());
     std::vector<SweepResult> stream_results;
     std::vector<std::vector<L2Result>> l2_results(stream_jobs.size());
+    std::vector<std::vector<L2Result>> exact_results(stream_jobs.size());
+    std::vector<std::vector<L2Result>> ana_results(stream_jobs.size());
     {
         ScopedTimer timer(wall);
         if (cached) {
@@ -130,20 +145,48 @@ main()
                         });
         }
         stream_results = runner.run(stream_jobs);
-        parallelFor(stream_jobs.size(), runner.jobs(),
-                    [&](std::size_t i) {
-                        if (cached) {
-                            SecondaryCacheStudy study(
-                                table4CandidateConfigs(),
-                                /*sample_log2=*/3);
-                            replayMissesInto(study, *misses[i]);
-                            l2_results[i] = study.results();
-                            return;
-                        }
-                        l2_results[i] = l2HitRates(
-                            names[i / levels.size()],
-                            levels[i % levels.size()]);
-                    });
+        {
+            ScopedTimer l2_timer(l2_sim_wall);
+            parallelFor(stream_jobs.size(), runner.jobs(),
+                        [&](std::size_t i) {
+                            if (cached) {
+                                SecondaryCacheStudy study(
+                                    table4CandidateConfigs(),
+                                    /*sample_log2=*/3);
+                                replayMissesInto(study, *misses[i]);
+                                l2_results[i] = study.results();
+                                return;
+                            }
+                            l2_results[i] = l2HitRates(
+                                names[i / levels.size()],
+                                levels[i % levels.size()]);
+                        });
+        }
+        if (cached) {
+            // Exact baseline: the unsampled battery the analytic
+            // engine reproduces (the differential tests' reference).
+            {
+                ScopedTimer l2_timer(l2_exact_wall);
+                parallelFor(stream_jobs.size(), runner.jobs(),
+                            [&](std::size_t i) {
+                                SecondaryCacheStudy study(
+                                    table4CandidateConfigs(),
+                                    /*sample_log2=*/0);
+                                replayMissesInto(study, *misses[i]);
+                                exact_results[i] = study.results();
+                            });
+            }
+            // Analytic half: same traces, same grid, one profiling
+            // pass each instead of 42 simulated caches.
+            ScopedTimer l2_timer(l2_ana_wall);
+            parallelFor(stream_jobs.size(), runner.jobs(),
+                        [&](std::size_t i) {
+                            AnalyticCacheStudy study(
+                                table4CandidateConfigs());
+                            profileMissesInto(study, *misses[i]);
+                            ana_results[i] = study.results();
+                        });
+        }
     }
 
     TablePrinter table({"name", "input", "stream_hit_%", "min_L2",
@@ -166,6 +209,34 @@ main()
         }
     }
     table.print(std::cout);
+
+    if (cached) {
+        double worst_exact = 0;
+        double worst_sampled = 0;
+        for (std::size_t i = 0; i < l2_results.size(); ++i) {
+            for (std::size_t j = 0; j < l2_results[i].size(); ++j) {
+                double ana = ana_results[i][j].localHitRatePercent;
+                worst_exact = std::max(
+                    worst_exact,
+                    std::abs(exact_results[i][j].localHitRatePercent -
+                             ana));
+                worst_sampled = std::max(
+                    worst_sampled,
+                    std::abs(l2_results[i][j].localHitRatePercent - ana));
+            }
+        }
+        std::cout << "\nanalytic L2 engine: grid priced in "
+                  << fmt(l2_ana_wall, 3) << " s\n  vs exact battery    "
+                  << fmt(l2_exact_wall, 3) << " s ("
+                  << fmt(l2_ana_wall > 0 ? l2_exact_wall / l2_ana_wall : 0,
+                         1)
+                  << "x), worst deviation " << fmt(worst_exact, 4)
+                  << " points\n  vs sampled battery  "
+                  << fmt(l2_sim_wall, 3) << " s ("
+                  << fmt(l2_ana_wall > 0 ? l2_sim_wall / l2_ana_wall : 0, 1)
+                  << "x), worst deviation " << fmt(worst_sampled, 2)
+                  << " points (set-sampling noise)\n";
+    }
 
     bench::ThroughputLog log;
     log.record(stream_results);

@@ -119,6 +119,16 @@ runMetrics(const RunOutput &out)
         .add("misses", r.l2Misses)
         .add("local_hit_rate_pct", r.l2LocalHitRatePercent);
 
+    const L2AnalyticReport &la = out.l2Analytic;
+    reg.section("l2_analytic")
+        .add("model", la.model)
+        .add("predicted_miss_ratio_pct", la.predictedMissRatioPct)
+        .add("predicted_hit_rate_pct", la.predictedHitRatePct)
+        .add("simulated_miss_ratio_pct", la.simulatedMissRatioPct)
+        .add("abs_error_pct", la.absErrorPct)
+        .add("profiled_misses", la.profiledMisses)
+        .add("unique_blocks", la.uniqueBlocks);
+
     reg.section("sw_prefetch")
         .add("total", r.swPrefetches)
         .add("issued", r.swPrefetchesIssued)

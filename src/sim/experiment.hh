@@ -16,6 +16,29 @@
 
 namespace sbsim {
 
+/**
+ * Analytic L2 prediction attached to a run when --l2-model is
+ * analytic or both (see sim/analytic_l2.hh). Zero-filled (model
+ * "simulated") otherwise, so the exported section shape is constant.
+ */
+struct L2AnalyticReport
+{
+    /** "simulated" | "analytic" | "both" (toString(L2ModelKind)). */
+    std::string model = "simulated";
+    /** Predicted L2 miss ratio (%) over the profiled demand stream. */
+    double predictedMissRatioPct = 0;
+    /** 100 - predictedMissRatioPct (0 when nothing was profiled). */
+    double predictedHitRatePct = 0;
+    /** Simulated in-system L2 miss ratio (%); filled in BOTH mode. */
+    double simulatedMissRatioPct = 0;
+    /** |predicted - simulated| (%); filled in BOTH mode. */
+    double absErrorPct = 0;
+    /** Demand misses the profile observed. */
+    std::uint64_t profiledMisses = 0;
+    /** Distinct blocks in the profiled stream (== cold misses). */
+    std::uint64_t uniqueBlocks = 0;
+};
+
 /** Everything a table/figure row needs from one simulation run. */
 struct RunOutput
 {
@@ -26,6 +49,8 @@ struct RunOutput
     std::vector<double> lengthSharesPercent;
     /** Victim-buffer local hit rate (%); 0 without a victim buffer. */
     double victimHitRatePercent = 0;
+    /** Analytic L2 model report (zero-filled unless requested). */
+    L2AnalyticReport l2Analytic;
 };
 
 /**
@@ -78,7 +103,7 @@ RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config,
  * stability the schema in tools/metrics.schema.json pins.
  *
  * Sections, in order: run, l1, streams, stream_lengths, victim, l2,
- * sw_prefetch, cycles.
+ * l2_analytic, sw_prefetch, cycles.
  */
 MetricsRegistry runMetrics(const RunOutput &out);
 

@@ -69,6 +69,76 @@ L2StudyDriver::run(TraceSource &src)
     return n;
 }
 
+AnalyticCacheStudy::AnalyticCacheStudy(
+    const std::vector<CacheConfig> &configs)
+    : configs_(configs)
+{
+    SBSIM_ASSERT(!configs_.empty(), "L2 study needs candidates");
+    // Every candidate with more than one set and a scannable way
+    // count gets an exact conflict class on its block-size profiler,
+    // so results() prices it with no modeling assumption. When a
+    // block size's whole candidate slice is class-covered, its
+    // profiler skips the distance histogram entirely — the classes
+    // answer every query, at half the per-miss cost.
+    for (const CacheConfig &c : configs_) {
+        c.validate();
+        bool seen = false;
+        for (const ReuseProfiler &p : profilers_)
+            seen = seen || p.blockSize() == c.blockSize;
+        if (seen)
+            continue;
+        bool all_covered = true;
+        for (const CacheConfig &other : configs_) {
+            if (other.blockSize == c.blockSize)
+                all_covered = all_covered && other.numSets() > 1 &&
+                              other.assoc <= 16;
+        }
+        profilers_.emplace_back(c.blockSize,
+                                /*track_distances=*/!all_covered);
+    }
+    for (const CacheConfig &c : configs_) {
+        if (c.numSets() <= 1 || c.assoc > 16)
+            continue;
+        for (ReuseProfiler &p : profilers_) {
+            if (p.blockSize() == c.blockSize)
+                p.trackGeometry(
+                    static_cast<std::uint32_t>(c.numSets()), c.assoc);
+        }
+    }
+}
+
+void
+AnalyticCacheStudy::onL1Miss(const MemAccess &access)
+{
+    ++missesSeen_;
+    for (ReuseProfiler &p : profilers_)
+        p.onAccess(access.addr);
+}
+
+const ReuseProfiler &
+AnalyticCacheStudy::profileFor(unsigned block_size) const
+{
+    for (const ReuseProfiler &p : profilers_) {
+        if (p.blockSize() == block_size)
+            return p;
+    }
+    SBSIM_FATAL("no profile at block size ", block_size);
+    return profilers_.front(); // Unreachable.
+}
+
+std::vector<L2Result>
+AnalyticCacheStudy::results() const
+{
+    std::vector<L2Result> out;
+    out.reserve(configs_.size());
+    for (const CacheConfig &c : configs_) {
+        AnalyticL2Model model(profileFor(c.blockSize));
+        out.push_back({c, model.predictLocalHitRatePercent(c),
+                       model.profile().references()});
+    }
+    return out;
+}
+
 std::uint64_t
 replayMissesInto(SecondaryCacheStudy &study, const MissTrace &trace)
 {
@@ -76,6 +146,23 @@ replayMissesInto(SecondaryCacheStudy &study, const MissTrace &trace)
     // software prefetches would perturb L1 contents relative to the
     // driver's bare L1 — either would make the recorded stream diverge
     // from what L2StudyDriver presents.
+    SBSIM_ASSERT(trace.summary().victimHits == 0 &&
+                     trace.summary().swPrefetches == 0,
+                 "miss trace incompatible with the bare-L1 study front "
+                 "end");
+    std::uint64_t n = 0;
+    trace.forEach([&](const MissRecord &rec) {
+        if (rec.kind != MissRecord::Kind::DEMAND)
+            return;
+        study.onL1Miss(rec.access);
+        ++n;
+    });
+    return n;
+}
+
+std::uint64_t
+profileMissesInto(AnalyticCacheStudy &study, const MissTrace &trace)
+{
     SBSIM_ASSERT(trace.summary().victimHits == 0 &&
                      trace.summary().swPrefetches == 0,
                  "miss trace incompatible with the bare-L1 study front "

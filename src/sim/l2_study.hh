@@ -18,7 +18,9 @@
 
 #include "cache/set_sampler.hh"
 #include "cache/split_cache.hh"
+#include "sim/analytic_l2.hh"
 #include "trace/miss_trace.hh"
+#include "trace/reuse_profile.hh"
 #include "trace/source.hh"
 #include "util/metrics.hh"
 
@@ -80,6 +82,41 @@ class L2StudyDriver
 };
 
 /**
+ * The analytic backend of the study (--l2-model=analytic): instead of
+ * simulating candidates, one ReuseProfiler per distinct candidate
+ * block size observes the miss stream — every candidate geometry
+ * registered as an exact conflict class — and results() prices the
+ * whole grid via AnalyticL2Model in one pass, no sampling, exact for
+ * class-covered candidates. Returns the same L2Result rows
+ * as SecondaryCacheStudy, so minSizeReaching / bestHitRateAtSize /
+ * l2StudyMetrics work unchanged (sampledAccesses reports the profiled
+ * miss count: the analytic pass sees every miss).
+ */
+class AnalyticCacheStudy
+{
+  public:
+    explicit AnalyticCacheStudy(const std::vector<CacheConfig> &configs);
+
+    /** Present one L1 miss to every per-block-size profiler. */
+    void onL1Miss(const MemAccess &access);
+
+    /** Predicted hit rates, in the order configs were given. */
+    std::vector<L2Result> results() const;
+
+    std::uint64_t missesSeen() const { return missesSeen_; }
+
+    /** The profile measuring distances at @p block_size (asserted). */
+    const ReuseProfiler &profileFor(unsigned block_size) const;
+
+  private:
+    std::vector<CacheConfig> configs_;
+    /** One profiler per distinct candidate block size, in first-seen
+     *  order. */
+    std::vector<ReuseProfiler> profilers_;
+    std::uint64_t missesSeen_ = 0;
+};
+
+/**
  * Feed every recorded DEMAND miss of @p trace to @p study — the
  * miss-stream equivalent of L2StudyDriver::run. Valid only for traces
  * recorded under the driver's front end: a bare split L1 (no victim
@@ -89,6 +126,15 @@ class L2StudyDriver
  */
 std::uint64_t replayMissesInto(SecondaryCacheStudy &study,
                                const MissTrace &trace);
+
+/**
+ * Analytic counterpart of replayMissesInto: profile every DEMAND
+ * record of @p trace. Same front-end compatibility requirement
+ * (asserted), so differential comparisons consume identical streams.
+ * @return demand misses profiled.
+ */
+std::uint64_t profileMissesInto(AnalyticCacheStudy &study,
+                                const MissTrace &trace);
 
 /**
  * The Table 4 candidate grid: sizes 64 KB..4 MB, associativity 1-4,

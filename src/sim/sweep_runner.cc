@@ -6,9 +6,11 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <cmath>
 #include <utility>
 
 #include "trace/materialized_trace.hh"
+#include "trace/reuse_profile.hh"
 #include "trace/time_sampler.hh"
 #include "util/env.hh"
 #include "util/metrics.hh"
@@ -262,6 +264,91 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         }
     }
 
+    // --- Analytic L2 profiling plan: one reuse-distance profile per
+    // (miss stream, L2 block size) group, shared by every member job
+    // requesting --l2-model=analytic|both. A group's stream comes, in
+    // preference order, from a member's already-planned replay trace,
+    // the trace cache, or an ad-hoc recording. Evaluation afterwards
+    // is closed-form per job — the "fan the evaluation out for free"
+    // half of the one-pass engine.
+    std::vector<std::shared_ptr<const ReuseProfiler>> profiles(
+        jobs.size());
+    {
+        struct ProfileGroup
+        {
+            std::vector<std::size_t> members;
+            std::shared_ptr<const MissTrace> miss;
+        };
+        std::map<std::string, ProfileGroup> groups;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (jobs[i].l2Model == L2ModelKind::SIMULATED)
+                continue;
+            // Keyless jobs opted out of trace reuse; give each its
+            // own group (0x1f prefix cannot collide with real keys).
+            std::string key =
+                jobs[i].sourceKey.empty()
+                    ? '\x1f' + std::to_string(i)
+                    : missTraceKey(jobs[i].sourceKey, jobs[i].config) +
+                          '\x1f' +
+                          std::to_string(jobs[i].config.l2.blockSize);
+            ProfileGroup &group = groups[key];
+            group.members.push_back(i);
+            if (!group.miss && plans[i].miss)
+                group.miss = plans[i].miss;
+        }
+        std::vector<ProfileGroup *> group_list;
+        group_list.reserve(groups.size());
+        for (auto &entry : groups)
+            group_list.push_back(&entry.second);
+        std::vector<std::shared_ptr<const ReuseProfiler>> built(
+            group_list.size());
+        parallelFor(group_list.size(), jobs_, [&](std::size_t k) {
+            ProfileGroup &group = *group_list[k];
+            const SweepJob &leader = jobs[group.members.front()];
+            std::shared_ptr<const MissTrace> miss = group.miss;
+            if (!miss && traceCache_ && !leader.sourceKey.empty()) {
+                miss = TraceCache::instance().getOrRecord(
+                    missTraceKey(leader.sourceKey, leader.config),
+                    [&]() {
+                        auto src = leader.makeSource();
+                        return recordMissTrace(*src, leader.config);
+                    });
+            }
+            if (!miss) {
+                auto src = leader.makeSource();
+                miss = std::make_shared<const MissTrace>(
+                    recordMissTrace(*src, leader.config));
+            }
+            // Register every member's L2 geometry as an exact
+            // conflict class before the single profiling pass (the
+            // group key fixes the block size, not size/assoc); when
+            // the classes cover all members, the profiler skips the
+            // distance histogram — the classes answer every query.
+            bool all_covered = true;
+            for (std::size_t i : group.members) {
+                const CacheConfig &l2 = jobs[i].config.l2;
+                all_covered = all_covered && l2.numSets() > 1 &&
+                              l2.assoc <= 16;
+            }
+            auto profiler = std::make_shared<ReuseProfiler>(
+                leader.config.l2.blockSize,
+                /*track_distances=*/!all_covered);
+            for (std::size_t i : group.members) {
+                const CacheConfig &l2 = jobs[i].config.l2;
+                if (l2.numSets() > 1 && l2.assoc <= 16)
+                    profiler->trackGeometry(
+                        static_cast<std::uint32_t>(l2.numSets()),
+                        l2.assoc);
+            }
+            profileMissTraceInto(*profiler, *miss);
+            built[k] = std::move(profiler);
+        });
+        for (std::size_t k = 0; k < group_list.size(); ++k) {
+            for (std::size_t i : group_list[k]->members)
+                profiles[i] = built[k];
+        }
+    }
+
     // Heartbeat bookkeeping: integral atomics only (the derived rate
     // is computed at print time), stderr only, so the simulation
     // results cannot observe it.
@@ -287,6 +374,25 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             } else {
                 std::unique_ptr<TraceSource> src = job.makeSource();
                 res.output = runOnce(*src, job.config, job.eventTrace);
+            }
+        }
+        if (job.l2Model != L2ModelKind::SIMULATED && profiles[i]) {
+            const ReuseProfiler &prof = *profiles[i];
+            AnalyticL2Model model(prof);
+            L2AnalyticReport &rep = res.output.l2Analytic;
+            rep.model = toString(job.l2Model);
+            rep.predictedMissRatioPct =
+                model.predictMissRatioPercent(job.config.l2);
+            rep.predictedHitRatePct =
+                model.predictLocalHitRatePercent(job.config.l2);
+            rep.profiledMisses = prof.references();
+            rep.uniqueBlocks = prof.uniqueBlocks();
+            if (job.l2Model == L2ModelKind::BOTH && job.config.useL2 &&
+                prof.references() > 0) {
+                rep.simulatedMissRatioPct =
+                    100.0 - res.output.results.l2LocalHitRatePercent;
+                rep.absErrorPct = std::abs(rep.predictedMissRatioPct -
+                                           rep.simulatedMissRatioPct);
             }
         }
         res.references = res.output.results.references;

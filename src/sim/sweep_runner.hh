@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
 #include "trace/source.hh"
 #include "trace/trace_cache.hh"
@@ -90,6 +91,17 @@ struct SweepJob
      * the stream sweep and the L2 study.
      */
     std::shared_ptr<const MissTrace> missTrace;
+
+    /**
+     * ANALYTIC or BOTH attaches an analytic L2 prediction (see
+     * sim/analytic_l2.hh) to the job's RunOutput::l2Analytic. The
+     * runner plans one reuse-distance profiling pass per (miss
+     * stream, L2 block size) group — jobs sharing a front-end family
+     * share the profile — and every member's prediction is then a
+     * closed-form evaluation. Simulation of the job itself is
+     * unchanged (BOTH compares the two). Default: SIMULATED (off).
+     */
+    L2ModelKind l2Model = L2ModelKind::SIMULATED;
 };
 
 /** A RunOutput plus per-job provenance and throughput. */

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Block-granularity footprint tracking, hoisted out of TraceStats so
+ * the reuse-distance profiler (reuse_profile.hh) and the pass-through
+ * trace statistics share one implementation of "how many distinct
+ * blocks has this stream touched".
+ */
+
+#ifndef STREAMSIM_TRACE_FOOTPRINT_HH
+#define STREAMSIM_TRACE_FOOTPRINT_HH
+
+#include <unordered_set>
+
+#include "mem/block.hh"
+
+namespace sbsim {
+
+/** Set of distinct blocks touched, at one block granularity. */
+class BlockFootprint
+{
+  public:
+    /** @param block_size Footprint granularity in bytes (power of 2). */
+    explicit BlockFootprint(unsigned block_size) : mapper_(block_size) {}
+
+    /** Record the block containing @p a; true when it is new. */
+    bool
+    touch(Addr a)
+    {
+        return blocks_.insert(mapper_.blockNumber(a)).second;
+    }
+
+    /** Unique blocks touched so far. */
+    std::uint64_t uniqueBlocks() const { return blocks_.size(); }
+
+    /** Footprint in bytes (unique blocks x block size). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return blocks_.size() * mapper_.blockSize();
+    }
+
+    const BlockMapper &mapper() const { return mapper_; }
+
+    void clear() { blocks_.clear(); }
+
+  private:
+    BlockMapper mapper_;
+    std::unordered_set<std::uint64_t> blocks_;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_FOOTPRINT_HH

@@ -1,0 +1,198 @@
+#include "reuse_profile.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sbsim {
+
+namespace {
+
+/** Least significant set bit (Fenwick stride). @pre i != 0. */
+inline std::uint64_t
+lowBit(std::uint64_t i)
+{
+    return i & (~i + 1);
+}
+
+} // namespace
+
+ReuseProfiler::ReuseProfiler(unsigned block_size, bool track_distances)
+    : footprint_(block_size), trackDistances_(track_distances)
+{}
+
+void
+ReuseProfiler::trackGeometry(std::uint32_t sets, std::uint32_t ways)
+{
+    SBSIM_ASSERT(refs_ == 0,
+                 "trackGeometry must precede the first onAccess (",
+                 refs_, " references already profiled)");
+    SBSIM_ASSERT(sets >= 2 && (sets & (sets - 1)) == 0,
+                 "conflict class needs a power-of-two set count >= 2, got ",
+                 sets);
+    SBSIM_ASSERT(ways >= 1 && ways <= 16,
+                 "conflict class way count out of range: ", ways);
+    for (ConflictClass &c : classes_) {
+        if (c.sets != sets)
+            continue;
+        if (ways > c.ways) {
+            c.ways = ways;
+            c.hitsAtDepth.assign(ways, 0);
+            c.mruBlock.assign(std::uint64_t{sets} * ways, 0);
+            c.mruUsed.assign(sets, 0);
+        }
+        return;
+    }
+    ConflictClass c;
+    c.sets = sets;
+    c.ways = ways;
+    c.hitsAtDepth.assign(ways, 0);
+    c.mruBlock.assign(std::uint64_t{sets} * ways, 0);
+    c.mruUsed.assign(sets, 0);
+    classes_.push_back(std::move(c));
+    std::sort(classes_.begin(), classes_.end(),
+              [](const ConflictClass &a, const ConflictClass &b) {
+                  return a.sets < b.sets;
+              });
+}
+
+const ConflictClass *
+ReuseProfiler::conflictClass(std::uint32_t sets) const
+{
+    for (const ConflictClass &c : classes_)
+        if (c.sets == sets)
+            return &c;
+    return nullptr;
+}
+
+void
+ReuseProfiler::updateClasses(std::uint64_t block)
+{
+    for (ConflictClass &c : classes_) {
+        const std::uint64_t set = block & (c.sets - 1);
+        const std::uint64_t base = set * c.ways;
+        const std::uint32_t used = c.mruUsed[set];
+
+        // The list holds the set's `used` most recently used distinct
+        // blocks, MRU first — exactly the top of its LRU stack. The
+        // match depth is therefore the exact same-set stack distance.
+        std::uint32_t depth = used;
+        for (std::uint32_t d = 0; d < used; ++d) {
+            if (c.mruBlock[base + d] == block) {
+                depth = d;
+                break;
+            }
+        }
+        if (depth < used) {
+            ++c.hitsAtDepth[depth];
+            for (std::uint32_t d = depth; d > 0; --d)
+                c.mruBlock[base + d] = c.mruBlock[base + d - 1];
+        } else {
+            // Cold for this set, or deeper than the tracked ways
+            // (a miss at every associativity this class covers).
+            const std::uint32_t shift =
+                used < c.ways ? used : c.ways - 1;
+            for (std::uint32_t d = shift; d > 0; --d)
+                c.mruBlock[base + d] = c.mruBlock[base + d - 1];
+            if (used < c.ways)
+                c.mruUsed[set] = static_cast<std::uint8_t>(used + 1);
+        }
+        c.mruBlock[base] = block;
+    }
+}
+
+std::uint64_t
+ReuseProfiler::prefix(std::uint64_t i) const
+{
+    std::uint64_t sum = 0;
+    for (; i > 0; i -= lowBit(i))
+        sum += tree_[i];
+    return sum;
+}
+
+void
+ReuseProfiler::mark(std::uint64_t i)
+{
+    marks_[i] = 1;
+    for (; i <= capacity_; i += lowBit(i))
+        ++tree_[i];
+}
+
+void
+ReuseProfiler::unmark(std::uint64_t i)
+{
+    marks_[i] = 0;
+    for (; i <= capacity_; i += lowBit(i))
+        --tree_[i];
+}
+
+void
+ReuseProfiler::grow()
+{
+    // Amortized doubling; the rebuild is the standard O(n) Fenwick
+    // construction from the marker bitmap, so total maintenance stays
+    // O(N log N) over a run of N references.
+    std::uint64_t next = capacity_ == 0 ? 1024 : capacity_ * 2;
+    capacity_ = next;
+    marks_.resize(capacity_ + 1, 0);
+    tree_.assign(capacity_ + 1, 0);
+    for (std::uint64_t i = 1; i <= capacity_; ++i)
+        tree_[i] += marks_[i];
+    for (std::uint64_t i = 1; i <= capacity_; ++i) {
+        std::uint64_t parent = i + lowBit(i);
+        if (parent <= capacity_)
+            tree_[parent] += tree_[i];
+    }
+}
+
+void
+ReuseProfiler::onAccess(Addr addr)
+{
+    std::uint64_t block = footprint_.mapper().blockNumber(addr);
+    if (!classes_.empty())
+        updateClasses(block);
+    std::uint64_t pos = ++refs_;
+    if (!trackDistances_) {
+        footprint_.touch(addr);
+        return;
+    }
+    if (pos > capacity_)
+        grow();
+
+    auto [it, inserted] = last_.try_emplace(block, pos);
+    if (inserted) {
+        // Cold reference: counted via the footprint, not the
+        // histogram (its distance is infinite).
+        footprint_.touch(addr);
+        mark(pos);
+        return;
+    }
+    std::uint64_t prev = it->second;
+    // Markers sit at each live block's latest position, so the count
+    // of markers in (prev, pos) is exactly the number of distinct
+    // blocks referenced since this block's previous touch.
+    std::uint64_t distance = prefix(pos - 1) - prefix(prev);
+    hist_.add(distance);
+    unmark(prev);
+    mark(pos);
+    it->second = pos;
+}
+
+ReuseProfiler
+profileMissTrace(const MissTrace &trace, unsigned block_size)
+{
+    ReuseProfiler profiler(block_size);
+    profileMissTraceInto(profiler, trace);
+    return profiler;
+}
+
+void
+profileMissTraceInto(ReuseProfiler &profiler, const MissTrace &trace)
+{
+    trace.forEach([&](const MissRecord &rec) {
+        if (rec.kind == MissRecord::Kind::DEMAND)
+            profiler.onAccess(rec.access.addr);
+    });
+}
+
+} // namespace sbsim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Streaming LRU reuse-distance (stack-distance) profiler.
+ *
+ * For every reference, the reuse distance D is the number of
+ * *distinct* blocks touched since the previous reference to the same
+ * block (infinite for the first, "cold", reference). The classic
+ * inclusion property of LRU makes D the universal locality metric: a
+ * fully-associative LRU cache of C blocks hits exactly when D < C, so
+ * one pass over a miss stream yields the hit rate of *every* cache
+ * size at once — the foundation of the one-pass analytic Table 4
+ * engine (sim/analytic_l2.hh).
+ *
+ * The profiler is O(log N) per reference: a Fenwick (binary indexed)
+ * tree over reference positions holds one marker at each block's most
+ * recent position, so D is two prefix-sum queries; the marker moves
+ * with two point updates. Distances land in a Log2Histogram (<= 3.1%
+ * relative bucket width, exact below 64), whose boundary math is the
+ * shared header util/log_histogram.hh.
+ *
+ * Inclusion also holds *per set*: an A-way set-associative LRU cache
+ * with S sets hits exactly when fewer than A distinct blocks mapping
+ * to the reference's set were touched since its previous access.
+ * Synthetic scientific workloads stride by powers of two, so their
+ * set conflicts are deterministic, not uniform — a probabilistic
+ * conflict model is tens of points off on direct-mapped caches. The
+ * profiler therefore optionally tracks *conflict classes*: for each
+ * registered (sets, ways) geometry it keeps one tiny per-set MRU list
+ * (capped at the class's way count) and counts references by their
+ * exact per-set stack depth, making the A-way prediction exact for
+ * every cache sharing that set count. O(ways) array scan per class
+ * per reference, no tags, no replacement machinery.
+ *
+ * Feed it live (onAccess per post-L1 miss) or from a recorded
+ * MissTrace (profileMissTrace). Deterministic: no iteration over
+ * unordered containers, no floating-point state.
+ */
+
+#ifndef STREAMSIM_TRACE_REUSE_PROFILE_HH
+#define STREAMSIM_TRACE_REUSE_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/footprint.hh"
+#include "trace/miss_trace.hh"
+#include "util/log_histogram.hh"
+
+namespace sbsim {
+
+/**
+ * Exact same-set stack-depth counts for one set count (see the file
+ * comment): hitsAtDepth[d] is the number of references whose block
+ * was the (d+1)-th most recently used distinct block of its set —
+ * i.e. a hit in any cache with this set count and associativity > d.
+ * References deeper than the tracked way count (or cold) are the
+ * remainder: references - sum(hitsAtDepth).
+ */
+struct ConflictClass
+{
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint64_t> hitsAtDepth; ///< length ways.
+
+    /** Per-set MRU block lists, sets * ways flat, depth-major. */
+    std::vector<std::uint64_t> mruBlock;
+    /** Valid depth per set (<= ways). */
+    std::vector<std::uint8_t> mruUsed;
+};
+
+/** One-pass reuse-distance histogram at one block granularity. */
+class ReuseProfiler
+{
+  public:
+    /** @param block_size Granularity distances are measured at; must
+     *         match the block size of any cache evaluated from this
+     *         profile (a different block size regroups references
+     *         into different blocks, changing every distance).
+     *  @param track_distances When false, skip the Fenwick tree and
+     *         last-position map entirely: histogram() stays empty and
+     *         maxDistance() is 0, but conflict classes, the footprint
+     *         and the reference count still work. The fast path for
+     *         callers whose every query is answered by an exact
+     *         conflict class (it halves the per-reference cost). */
+    explicit ReuseProfiler(unsigned block_size,
+                           bool track_distances = true);
+
+    /** Whether the distance histogram is being maintained. */
+    bool distancesTracked() const { return trackDistances_; }
+
+    /**
+     * Register a (sets, ways) conflict class to track exactly; must
+     * be called before the first onAccess. @p sets must be a power of
+     * two >= 2, @p ways in [1, 16] (the per-reference cost is a
+     * ways-long scan per class). Re-registering a set count keeps one
+     * class at the maximum requested way count.
+     */
+    void trackGeometry(std::uint32_t sets, std::uint32_t ways);
+
+    /**
+     * The tracked class for @p sets, or nullptr. A cache with this
+     * set count and associativity A <= ways() is priced exactly as
+     * sum of hitsAtDepth[0..A-1].
+     */
+    const ConflictClass *conflictClass(std::uint32_t sets) const;
+
+    /** Observe one reference (an L1 miss of the profiled stream). */
+    void onAccess(Addr addr);
+
+    /** References observed so far. */
+    std::uint64_t references() const { return refs_; }
+
+    /** First-touch references: misses in every cache (cold misses). */
+    std::uint64_t coldMisses() const { return footprint_.uniqueBlocks(); }
+
+    /** Distinct blocks touched == coldMisses(). */
+    std::uint64_t uniqueBlocks() const { return footprint_.uniqueBlocks(); }
+
+    /** Footprint in bytes at this granularity. */
+    std::uint64_t footprintBytes() const
+    {
+        return footprint_.footprintBytes();
+    }
+
+    /** Largest finite reuse distance observed (0 when none). */
+    std::uint64_t maxDistance() const { return hist_.maxValue(); }
+
+    /**
+     * Histogram of finite (warm) reuse distances. Mass conservation:
+     * histogram().totalCount() + coldMisses() == references().
+     */
+    const Log2Histogram &histogram() const { return hist_; }
+
+    unsigned blockSize() const { return footprint_.mapper().blockSize(); }
+
+  private:
+    /** Sum of markers at positions [1, i]. */
+    std::uint64_t prefix(std::uint64_t i) const;
+    void mark(std::uint64_t i);
+    void unmark(std::uint64_t i);
+    void grow();
+
+    void updateClasses(std::uint64_t block);
+
+    BlockFootprint footprint_;
+    Log2Histogram hist_;
+    /** Tracked conflict classes, ascending set count (few; plain
+     *  vector keeps iteration deterministic). */
+    std::vector<ConflictClass> classes_;
+    /** Block number -> 1-based position of its latest reference. */
+    std::unordered_map<std::uint64_t, std::uint64_t> last_;
+    /** Fenwick tree over positions 1..capacity_ (index 0 unused). */
+    std::vector<std::uint64_t> tree_;
+    /** Flat marker bitmap backing O(capacity) tree rebuilds on grow. */
+    std::vector<std::uint8_t> marks_;
+    std::uint64_t capacity_ = 0;
+    std::uint64_t refs_ = 0;
+    bool trackDistances_ = true;
+};
+
+/**
+ * Profile every DEMAND record of @p trace at @p block_size. The
+ * WRITEBACK and SW_PREFETCH records are skipped: the analytic model
+ * targets the demand miss ratio, the quantity the Table 4 study
+ * battery (replayMissesInto) measures.
+ */
+ReuseProfiler profileMissTrace(const MissTrace &trace,
+                               unsigned block_size);
+
+/**
+ * As profileMissTrace, into a caller-constructed profiler — the form
+ * to use when conflict classes must be registered first.
+ */
+void profileMissTraceInto(ReuseProfiler &profiler,
+                          const MissTrace &trace);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_TRACE_REUSE_PROFILE_HH

@@ -8,9 +8,7 @@
 #ifndef STREAMSIM_TRACE_TRACE_STATS_HH
 #define STREAMSIM_TRACE_TRACE_STATS_HH
 
-#include <unordered_set>
-
-#include "mem/block.hh"
+#include "trace/footprint.hh"
 #include "trace/source.hh"
 #include "util/stats.hh"
 
@@ -28,7 +26,8 @@ class TraceStats : public TraceSource
      */
     explicit TraceStats(TraceSource &src, unsigned block_size = 32,
                         bool track_footprint = true)
-        : src_(src), mapper_(block_size), trackFootprint_(track_footprint)
+        : src_(src), footprint_(block_size),
+          trackFootprint_(track_footprint)
     {}
 
     bool
@@ -43,7 +42,7 @@ class TraceStats : public TraceSource
           case AccessType::PREFETCH: ++prefetches_; break;
         }
         if (trackFootprint_ && !out.isInstruction())
-            blocks_.insert(mapper_.blockNumber(out.addr));
+            footprint_.touch(out.addr);
         return true;
     }
 
@@ -54,7 +53,7 @@ class TraceStats : public TraceSource
         ifetches_.reset();
         loads_.reset();
         stores_.reset();
-        blocks_.clear();
+        footprint_.clear();
     }
 
     std::uint64_t ifetches() const { return ifetches_.value(); }
@@ -75,24 +74,27 @@ class TraceStats : public TraceSource
     }
 
     /** Unique data blocks touched (the data footprint), in blocks. */
-    std::uint64_t uniqueDataBlocks() const { return blocks_.size(); }
+    std::uint64_t
+    uniqueDataBlocks() const
+    {
+        return footprint_.uniqueBlocks();
+    }
 
     /** Data footprint in bytes. */
     std::uint64_t
     footprintBytes() const
     {
-        return blocks_.size() * mapper_.blockSize();
+        return footprint_.footprintBytes();
     }
 
   private:
     TraceSource &src_;
-    BlockMapper mapper_;
+    BlockFootprint footprint_;
     bool trackFootprint_;
     Counter ifetches_;
     Counter loads_;
     Counter stores_;
     Counter prefetches_;
-    std::unordered_set<std::uint64_t> blocks_;
 };
 
 } // namespace sbsim

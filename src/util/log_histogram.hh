@@ -1,0 +1,118 @@
+/**
+ * @file
+ * HDR-style logarithmic histogram of unsigned values. Buckets are
+ * exact below 2 * kSubBuckets and then split every power-of-two range
+ * into kSubBuckets equal-width sub-buckets, so the relative width of
+ * any bucket never exceeds 1/kSubBuckets (~3.1%) while the whole
+ * 64-bit domain needs only a few thousand buckets.
+ *
+ * This is the shared bucket-boundary logic behind the reuse-distance
+ * profiler (trace/reuse_profile.hh): the bucket index, lower bound and
+ * width functions live here, in one place, so the recording side and
+ * every consumer that reasons about boundaries (the analytic L2
+ * evaluator, the tests) agree by construction.
+ */
+
+#ifndef STREAMSIM_UTIL_LOG_HISTOGRAM_HH
+#define STREAMSIM_UTIL_LOG_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitutil.hh"
+
+namespace sbsim {
+
+/** Growable log2 histogram with kSubBuckets sub-buckets per octave. */
+class Log2Histogram
+{
+  public:
+    /** Sub-buckets per power-of-two range (must stay a power of 2). */
+    static constexpr unsigned kSubBucketBits = 5;
+    static constexpr std::uint64_t kSubBuckets =
+        std::uint64_t{1} << kSubBucketBits;
+
+    /** Bucket index holding @p v. Exact (width 1) for v < 2^6. */
+    static constexpr std::size_t
+    indexFor(std::uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::size_t>(v);
+        unsigned msb = floorLog2(v);
+        unsigned shift = msb - kSubBucketBits;
+        return static_cast<std::size_t>(
+            (std::uint64_t{msb - kSubBucketBits + 1} << kSubBucketBits) +
+            ((v >> shift) - kSubBuckets));
+    }
+
+    /** Smallest value mapped to bucket @p idx. */
+    static constexpr std::uint64_t
+    lowerBound(std::size_t idx)
+    {
+        if (idx < kSubBuckets)
+            return idx;
+        std::uint64_t octave = idx >> kSubBucketBits;
+        std::uint64_t pos = idx & (kSubBuckets - 1);
+        return (kSubBuckets + pos) << (octave - 1);
+    }
+
+    /** Number of distinct values mapped to bucket @p idx. */
+    static constexpr std::uint64_t
+    bucketWidth(std::size_t idx)
+    {
+        if (idx < 2 * kSubBuckets)
+            return 1;
+        return std::uint64_t{1} << ((idx >> kSubBucketBits) - 1);
+    }
+
+    void
+    add(std::uint64_t v)
+    {
+        std::size_t idx = indexFor(v);
+        if (idx >= counts_.size())
+            counts_.resize(idx + 1, 0);
+        ++counts_[idx];
+        ++total_;
+        if (v > maxValue_)
+            maxValue_ = v;
+    }
+
+    /** Sum of all bucket counts. */
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Largest value ever added (0 when empty). */
+    std::uint64_t maxValue() const { return maxValue_; }
+
+    std::size_t buckets() const { return counts_.size(); }
+
+    std::uint64_t
+    count(std::size_t idx) const
+    {
+        return idx < counts_.size() ? counts_[idx] : 0;
+    }
+
+    /**
+     * Visit every non-empty bucket in ascending value order as
+     * fn(lower_bound, width, count). Deterministic: backed by a plain
+     * vector.
+     */
+    template <typename Fn>
+    void
+    forEachBucket(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i])
+                fn(lowerBound(i), bucketWidth(i), counts_[i]);
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t maxValue_ = 0;
+};
+
+} // namespace sbsim
+
+#endif // STREAMSIM_UTIL_LOG_HISTOGRAM_HH

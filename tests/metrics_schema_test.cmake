@@ -31,6 +31,26 @@ if(NOT status EQUAL 0)
     message(FATAL_ERROR "sweep --json-out failed: ${status}")
 endif()
 
+# Analytic L2 model populated (run and sweep): the l2_analytic
+# section must carry real predictions and still match the schema.
+execute_process(
+    COMMAND ${STREAMSIM_CLI} run --benchmark mgrid --refs 100000
+            --no-streams --l2 256 --l2-model both
+            --json-out ${work}/run_analytic.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "run --l2-model both --json-out failed: ${status}")
+endif()
+
+execute_process(
+    COMMAND ${STREAMSIM_CLI} sweep --benchmark mgrid --refs 50000
+            --values 1,4 --l2 256 --l2-model both
+            --json-out ${work}/sweep_analytic.json
+    RESULT_VARIABLE status OUTPUT_QUIET)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "sweep --l2-model both --json-out failed: ${status}")
+endif()
+
 # Both aggregate shapes: cache on (trace_cache block present) and off.
 execute_process(
     COMMAND ${STREAMSIM_CLI} sweep --benchmark mgrid --refs 50000
@@ -44,6 +64,7 @@ endif()
 execute_process(
     COMMAND ${PYTHON} ${SOURCE_DIR}/tools/validate_metrics.py
             --self-test ${work}/run.json ${work}/sweep.json
+            ${work}/run_analytic.json ${work}/sweep_analytic.json
             ${work}/sweep_nocache.json
     RESULT_VARIABLE status)
 if(NOT status EQUAL 0)

@@ -14,8 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "sim/analytic_l2.hh"
 #include "sim/memory_system.hh"
+#include "trace/reuse_profile.hh"
 #include "trace/source.hh"
+#include "util/log_histogram.hh"
 #include "util/random.hh"
 
 using namespace sbsim;
@@ -190,3 +195,150 @@ TEST_P(SystemFuzz, DeterministicAcrossRuns)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------
+// Analytic L2 engine fuzz: seeded random miss streams through the
+// profiler + evaluator. The profiler is checked against a naive
+// O(N^2) reference implementation (small inputs), the evaluator for
+// crash-freedom, monotonicity in cache size, and bitwise determinism.
+
+namespace {
+
+/** Naive quadratic stack-distance profiler: for each reference, scan
+ *  back and count distinct blocks since the previous access to the
+ *  same block. The O(log N) Fenwick implementation must agree on
+ *  every derived quantity. */
+struct NaiveProfile
+{
+    std::uint64_t refs = 0;
+    std::uint64_t cold = 0;
+    std::uint64_t maxDistance = 0;
+    std::vector<std::uint64_t> bucketCounts;
+
+    explicit NaiveProfile(const std::vector<std::uint64_t> &blocks)
+    {
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            refs = refs + 1;
+            bool found = false;
+            std::vector<std::uint64_t> seen;
+            for (std::size_t j = i; j-- > 0;) {
+                if (blocks[j] == blocks[i]) {
+                    found = true;
+                    break;
+                }
+                if (std::find(seen.begin(), seen.end(), blocks[j]) ==
+                    seen.end())
+                    seen.push_back(blocks[j]);
+            }
+            if (!found) {
+                ++cold;
+                continue;
+            }
+            std::uint64_t d = seen.size();
+            if (d > maxDistance)
+                maxDistance = d;
+            std::size_t idx = Log2Histogram::indexFor(d);
+            if (idx >= bucketCounts.size())
+                bucketCounts.resize(idx + 1, 0);
+            ++bucketCounts[idx];
+        }
+    }
+};
+
+std::vector<std::uint64_t>
+missBlocksFromSeed(std::uint64_t seed, std::size_t n)
+{
+    Pcg32 rng(seed * 131 + 5);
+    std::vector<std::uint64_t> blocks;
+    blocks.reserve(n);
+    std::uint64_t walk = 1000;
+    while (blocks.size() < n) {
+        switch (rng.below(4)) {
+          case 0: // random far block
+            blocks.push_back(rng.below(1u << 16));
+            break;
+          case 1: // hot set
+            blocks.push_back(rng.below(32));
+            break;
+          case 2: // sequential walk
+            for (int i = 0; i < 8; ++i)
+                blocks.push_back(walk++);
+            break;
+          default: // revisit the walk's recent past
+            blocks.push_back(walk - 1 - rng.below(64));
+            break;
+        }
+    }
+    blocks.resize(n);
+    return blocks;
+}
+
+} // namespace
+
+TEST_P(SystemFuzz, ProfilerMatchesNaiveReference)
+{
+    std::uint64_t seed = GetParam();
+    std::vector<std::uint64_t> blocks = missBlocksFromSeed(seed, 1500);
+    NaiveProfile naive(blocks);
+
+    ReuseProfiler prof(64);
+    for (std::uint64_t b : blocks)
+        prof.onAccess(b * 64);
+
+    EXPECT_EQ(prof.references(), naive.refs);
+    EXPECT_EQ(prof.coldMisses(), naive.cold);
+    EXPECT_EQ(prof.maxDistance(), naive.maxDistance);
+    EXPECT_EQ(prof.histogram().totalCount(), naive.refs - naive.cold);
+    for (std::size_t i = 0; i < naive.bucketCounts.size(); ++i) {
+        EXPECT_EQ(prof.histogram().count(i), naive.bucketCounts[i])
+            << "bucket " << i << " seed " << seed;
+    }
+}
+
+TEST_P(SystemFuzz, AnalyticMissRatioMonotoneInCacheSize)
+{
+    std::uint64_t seed = GetParam();
+    std::vector<std::uint64_t> blocks = missBlocksFromSeed(seed, 8000);
+    ReuseProfiler prof(64);
+    for (std::uint64_t b : blocks)
+        prof.onAccess(b * 64);
+    AnalyticL2Model model(prof);
+
+    double prev = 200.0;
+    for (std::uint64_t kb = 64; kb <= 4096; kb *= 2) {
+        CacheConfig c;
+        c.sizeBytes = kb * 1024;
+        c.assoc = 2;
+        c.blockSize = 64;
+        c.replacement = ReplacementKind::LRU;
+        double miss = model.predictMissRatioPercent(c);
+        EXPECT_GE(miss, 0.0);
+        EXPECT_LE(miss, 100.0);
+        EXPECT_LE(miss, prev + 1e-12) << "size " << kb << " KB";
+        prev = miss;
+    }
+}
+
+TEST_P(SystemFuzz, AnalyticPipelineDeterministic)
+{
+    std::uint64_t seed = GetParam();
+    std::vector<std::uint64_t> blocks = missBlocksFromSeed(seed, 5000);
+    CacheConfig c;
+    c.sizeBytes = 512 * 1024;
+    c.assoc = 4;
+    c.blockSize = 64;
+    c.replacement = ReplacementKind::LRU;
+
+    double first = 0;
+    for (int round = 0; round < 2; ++round) {
+        ReuseProfiler prof(64);
+        for (std::uint64_t b : blocks)
+            prof.onAccess(b * 64);
+        double miss =
+            AnalyticL2Model(prof).predictMissRatioPercent(c);
+        if (round == 0)
+            first = miss;
+        else
+            EXPECT_EQ(miss, first); // bitwise, not approximate
+    }
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cli_options.hh"
 #include "sim/l2_study.hh"
 #include "trace/source.hh"
 
@@ -146,3 +147,68 @@ TEST_P(L2SizeMonotonicity, LargerIsBetterOrEqual)
 INSTANTIATE_TEST_SUITE_P(Regions, L2SizeMonotonicity,
                          ::testing::Values(128u * 1024, 512u * 1024,
                                            2048u * 1024));
+
+// ---------------------------------------------------------------------
+// --l2-model CLI surface (tools/cli_options.cc): parse, reject, and
+// cross-option validation paths.
+
+TEST(L2ModelCli, ParsesEveryKind)
+{
+    using namespace sbsim::cli;
+    auto parse = [](std::initializer_list<const char *> args) {
+        return parseArgs(
+            std::vector<std::string>(args.begin(), args.end()));
+    };
+
+    ParseResult r = parse({"run", "-b", "mgrid", "--l2", "256",
+                           "--l2-model", "analytic"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.options.l2Model.has_value());
+    EXPECT_EQ(*r.options.l2Model, L2ModelKind::ANALYTIC);
+
+    r = parse({"sweep", "-b", "mgrid", "--l2", "256", "--l2-model",
+               "both"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(*r.options.l2Model, L2ModelKind::BOTH);
+
+    // "simulated" is accepted without --l2 (it predicts nothing).
+    r = parse({"run", "-b", "mgrid", "--l2-model", "simulated"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(*r.options.l2Model, L2ModelKind::SIMULATED);
+
+    // Unset flag leaves the optional empty (env decides later).
+    r = parse({"run", "-b", "mgrid"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.options.l2Model.has_value());
+}
+
+TEST(L2ModelCli, RejectsBadValues)
+{
+    using namespace sbsim::cli;
+    auto parse = [](std::initializer_list<const char *> args) {
+        return parseArgs(
+            std::vector<std::string>(args.begin(), args.end()));
+    };
+
+    // Unknown kind.
+    EXPECT_FALSE(parse({"run", "-b", "mgrid", "--l2", "256",
+                        "--l2-model", "oracle"})
+                     .ok());
+    // Case-sensitive.
+    EXPECT_FALSE(parse({"run", "-b", "mgrid", "--l2", "256",
+                        "--l2-model", "Both"})
+                     .ok());
+    // Missing value.
+    EXPECT_FALSE(parse({"run", "-b", "mgrid", "--l2", "256",
+                        "--l2-model"})
+                     .ok());
+    // analytic/both without a secondary cache to predict.
+    EXPECT_FALSE(
+        parse({"run", "-b", "mgrid", "--l2-model", "analytic"}).ok());
+    EXPECT_FALSE(
+        parse({"run", "-b", "mgrid", "--l2-model", "both"}).ok());
+    // Wrong command.
+    EXPECT_FALSE(parse({"analyze", "-b", "mgrid", "--l2-model",
+                        "simulated"})
+                     .ok());
+}

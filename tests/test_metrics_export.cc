@@ -41,6 +41,10 @@ const char *const kZeroSections =
     "\"share_pct_11_15\":0,\"share_pct_16_20\":0,\"share_pct_gt_20\":0},"
     "\"victim\":{\"hits\":0,\"hit_rate_pct\":0},"
     "\"l2\":{\"hits\":0,\"misses\":0,\"local_hit_rate_pct\":0},"
+    "\"l2_analytic\":{\"model\":\"simulated\","
+    "\"predicted_miss_ratio_pct\":0,\"predicted_hit_rate_pct\":0,"
+    "\"simulated_miss_ratio_pct\":0,\"abs_error_pct\":0,"
+    "\"profiled_misses\":0,\"unique_blocks\":0},"
     "\"sw_prefetch\":{\"total\":0,\"issued\":0,\"redundant\":0},"
     "\"cycles\":{\"total\":0,\"avg_access_cycles\":0,\"l1_hit\":0,"
     "\"victim_hit\":0,\"stream_hit\":0,\"stream_stall\":0,"

@@ -1,10 +1,13 @@
 #include "cli_commands.hh"
 
+#include <cmath>
 #include <fstream>
 #include <memory>
 
+#include "sim/analytic_l2.hh"
 #include "sim/memory_system.hh"
 #include "sim/sweep_runner.hh"
+#include "trace/reuse_profile.hh"
 #include "trace/file_trace.hh"
 #include "trace/time_sampler.hh"
 #include "trace/trace_stats.hh"
@@ -62,6 +65,25 @@ writeRunCsv(const MetricsRegistry &reg, std::ostream &os)
  * as the per-job source factory by the sweep command, where each
  * worker thread needs a private chain.
  */
+/**
+ * Resolve the L2 evaluation backend: the --l2-model flag wins, else
+ * SBSIM_L2_MODEL, else simulated. An env-only analytic/both request
+ * without a secondary cache has nothing to predict, so it warns and
+ * falls back to simulated (the explicit flag is rejected by
+ * parseArgs instead).
+ */
+L2ModelKind
+effectiveL2Model(const Options &o)
+{
+    L2ModelKind kind = o.l2Model ? *o.l2Model : l2ModelFromEnv();
+    if (kind != L2ModelKind::SIMULATED && o.l2KiloBytes == 0) {
+        SBSIM_WARN("SBSIM_L2_MODEL=", toString(kind),
+                   " ignored: no secondary cache configured (--l2)");
+        return L2ModelKind::SIMULATED;
+    }
+    return kind;
+}
+
 std::unique_ptr<TraceSource>
 makeInput(const Options &o)
 {
@@ -98,13 +120,55 @@ int
 runCommandImpl(const Options &o, std::ostream &out)
 {
     std::unique_ptr<TraceSource> input = makeInput(o);
-    MemorySystem system(toSystemConfig(o));
+    const MemorySystemConfig config = toSystemConfig(o);
+    const L2ModelKind l2_model = effectiveL2Model(o);
+    MemorySystem system(config);
     EventTrace events;
     if (!o.eventsOut.empty())
         system.attachEventTrace(&events);
+    // The recorder taps the post-L1 demand stream alongside the full
+    // simulation (it is orthogonal to the configured secondary
+    // level), so one run yields both the simulated L2 and the input
+    // of the analytic model.
+    MissTrace miss_trace;
+    if (l2_model != L2ModelKind::SIMULATED)
+        system.attachMissRecorder(&miss_trace);
     std::uint64_t refs = system.run(*input);
+    if (l2_model != L2ModelKind::SIMULATED)
+        system.finalizeMissRecorder();
     RunOutput run_output = collectOutput(system);
     const SystemResults &r = run_output.results;
+
+    if (l2_model != L2ModelKind::SIMULATED) {
+        // One exact conflict class for the configured L2 geometry;
+        // with it registered the distance histogram is never
+        // consulted, so skip its maintenance.
+        const bool covered =
+            config.l2.numSets() > 1 && config.l2.assoc <= 16;
+        ReuseProfiler profile(config.l2.blockSize,
+                              /*track_distances=*/!covered);
+        if (covered)
+            profile.trackGeometry(
+                static_cast<std::uint32_t>(config.l2.numSets()),
+                config.l2.assoc);
+        profileMissTraceInto(profile, miss_trace);
+        AnalyticL2Model model(profile);
+        L2AnalyticReport &rep = run_output.l2Analytic;
+        rep.model = toString(l2_model);
+        rep.predictedMissRatioPct =
+            model.predictMissRatioPercent(config.l2);
+        rep.predictedHitRatePct =
+            model.predictLocalHitRatePercent(config.l2);
+        rep.profiledMisses = profile.references();
+        rep.uniqueBlocks = profile.uniqueBlocks();
+        if (l2_model == L2ModelKind::BOTH && config.useL2 &&
+            profile.references() > 0) {
+            rep.simulatedMissRatioPct =
+                100.0 - r.l2LocalHitRatePercent;
+            rep.absErrorPct = std::abs(rep.predictedMissRatioPct -
+                                       rep.simulatedMissRatioPct);
+        }
+    }
 
     TablePrinter table({"metric", "value"});
     table.addRow({"references", fmt(refs)});
@@ -122,6 +186,14 @@ runCommandImpl(const Options &o, std::ostream &out)
     if (o.l2KiloBytes > 0)
         table.addRow(
             {"l2_local_hit_%", fmt(r.l2LocalHitRatePercent, 1)});
+    if (l2_model != L2ModelKind::SIMULATED) {
+        const L2AnalyticReport &rep = run_output.l2Analytic;
+        table.addRow(
+            {"l2_pred_miss_%", fmt(rep.predictedMissRatioPct, 2)});
+        if (l2_model == L2ModelKind::BOTH)
+            table.addRow(
+                {"l2_model_err_%", fmt(rep.absErrorPct, 2)});
+    }
     table.addRow({"writebacks", fmt(r.writebacks)});
     table.addRow({"avg_access_cycles", fmt(r.avgAccessCycles, 2)});
     printTable(table, o, out);
@@ -185,6 +257,7 @@ sweepCommand(const Options &o, std::ostream &out)
         '|' + std::to_string(static_cast<int>(o.scale)) + '|' +
         std::to_string(o.refs) + '|' + (o.timeSample ? "ts" : "full");
 
+    const L2ModelKind l2_model = effectiveL2Model(o);
     std::vector<SweepJob> jobs;
     jobs.reserve(o.sweepValues.size());
     for (std::size_t i = 0; i < o.sweepValues.size(); ++i) {
@@ -194,6 +267,7 @@ sweepCommand(const Options &o, std::ostream &out)
         job.label = std::to_string(o.sweepValues[i]);
         job.config = toSystemConfig(point);
         job.sourceKey = source_key;
+        job.l2Model = l2_model;
         job.makeSource = [point] { return makeInput(point); };
         if (!event_traces.empty())
             job.eventTrace = &event_traces[i];

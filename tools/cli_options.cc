@@ -203,6 +203,16 @@ parseArgs(const std::vector<std::string> &args)
                 result.error = "bad --l2 size (KB, power of two)";
                 return result;
             }
+        } else if (a == "--l2-model") {
+            if (!need_value(i, a))
+                return result;
+            std::optional<L2ModelKind> kind = parseL2Model(args[++i]);
+            if (!kind) {
+                result.error =
+                    "bad --l2-model (simulated|analytic|both)";
+                return result;
+            }
+            o.l2Model = *kind;
         } else if (a == "--bus") {
             if (!need_value(i, a))
                 return result;
@@ -298,6 +308,18 @@ parseArgs(const std::vector<std::string> &args)
             "--json-out/--csv-out/--events apply to run and sweep only";
         return result;
     }
+    if (o.l2Model) {
+        if (o.command != Command::RUN && o.command != Command::SWEEP) {
+            result.error = "--l2-model applies to run and sweep only";
+            return result;
+        }
+        if (*o.l2Model != L2ModelKind::SIMULATED &&
+            o.l2KiloBytes == 0) {
+            result.error = "--l2-model analytic|both needs --l2 KB "
+                           "(the model predicts that cache)";
+            return result;
+        }
+    }
     return result;
 }
 
@@ -367,6 +389,11 @@ system:
   --shuffled-pages           scattered physical page mapping
   --page-bits N              log2 page size (default 12 = 4 KB)
   --l2 KB                    add a unified secondary cache of KB kilobytes
+  --l2-model M               L2 evaluation backend (run and sweep):
+                             simulated (default), analytic = one-pass
+                             reuse-distance prediction, both = run the
+                             two and report the absolute error (also
+                             SBSIM_L2_MODEL; analytic/both need --l2)
   --bus N                    bus occupancy per block in cycles (0 = infinite)
 
 output:

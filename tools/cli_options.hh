@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
 #include "workloads/benchmark.hh"
 
@@ -54,6 +55,10 @@ struct Options
     std::uint32_t pageBits = 12;
     std::uint32_t l2KiloBytes = 0; ///< 0 = no secondary cache.
     std::uint32_t busCycles = 0;   ///< Bus cycles/block (0 = infinite).
+    /** L2 evaluation backend (--l2-model). Unset defers to
+     *  SBSIM_L2_MODEL (default simulated). analytic/both attach a
+     *  one-pass reuse-distance prediction to the run's metrics. */
+    std::optional<L2ModelKind> l2Model;
 
     // Output.
     std::string outFile;   ///< capture target.

@@ -162,6 +162,12 @@ def self_test(schema):
              **zero_sections(),
              "victim": {"hits": "3", "hit_rate_pct": 0},
          }}, False),
+        ("unknown l2 model string rejected",
+         {**good_run, "sections": {
+             **zero_sections(),
+             "l2_analytic": {**zero_sections()["l2_analytic"],
+                             "model": "oracle"},
+         }}, False),
         ("run without sections rejected",
          {"schema": "streamsim-metrics", "schema_version": 1,
           "kind": "run"}, False),
@@ -205,6 +211,12 @@ def zero_sections():
                            "share_pct_gt_20": 0},
         "victim": {"hits": 0, "hit_rate_pct": 0},
         "l2": {"hits": 0, "misses": 0, "local_hit_rate_pct": 0},
+        "l2_analytic": {"model": "simulated",
+                        "predicted_miss_ratio_pct": 0,
+                        "predicted_hit_rate_pct": 0,
+                        "simulated_miss_ratio_pct": 0,
+                        "abs_error_pct": 0, "profiled_misses": 0,
+                        "unique_blocks": 0},
         "sw_prefetch": {"total": 0, "issued": 0, "redundant": 0},
         "cycles": {"total": 0, "avg_access_cycles": 0, "l1_hit": 0,
                    "victim_hit": 0, "stream_hit": 0, "stream_stall": 0,
