@@ -149,6 +149,7 @@ Cache::evictFrom(std::uint32_t set, CacheResult &result)
     return w;
 }
 
+// analyze:hot-path
 CacheResult
 Cache::access(const MemAccess &access)
 {
@@ -198,6 +199,7 @@ Cache::access(const MemAccess &access)
     return result;
 }
 
+// analyze:hot-path
 CacheResult
 Cache::fill(Addr a, bool dirty)
 {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -101,6 +102,25 @@ AnalyticL2Model::expectedHits(const CacheConfig &config) const
         const ConflictClass *cls =
             profile_.conflictClass(static_cast<std::uint32_t>(sets));
         if (cls && cls->ways >= ways) {
+            // Depth-count monotonicity: the cumulative hit count by
+            // stack depth never decreases (each depth adds a
+            // non-negative count) and never exceeds the profiled
+            // reference total — a violation means the per-set MRU
+            // bookkeeping double-counted a reference, which would
+            // silently inflate every associativity's prediction.
+            SBSIM_AUDIT_BLOCK(
+                std::uint64_t cumulative = 0;
+                for (std::uint32_t dep = 0; dep < cls->ways; ++dep) {
+                    std::uint64_t before = cumulative;
+                    cumulative += cls->hitsAtDepth[dep];
+                    SBSIM_AUDIT(cumulative >= before,
+                                "conflict-class cumulative hits wrapped "
+                                "at depth ", dep);
+                }
+                SBSIM_AUDIT(cumulative <= profile_.references(),
+                            "conflict class (", cls->sets, " sets) "
+                            "counts ", cumulative, " hits across ",
+                            profile_.references(), " references"););
             double hits = 0;
             for (std::uint32_t depth = 0; depth < ways; ++depth)
                 hits = hits +

@@ -115,6 +115,7 @@ MemorySystem::fetchBlock(const MemAccess &access, TrafficKind kind)
     return delay + config_.memLatencyCycles;
 }
 
+// analyze:hot-path
 void
 MemorySystem::processAccess(const MemAccess &virt_access)
 {
@@ -233,6 +234,7 @@ MemorySystem::secondaryDemand(const MemAccess &access)
     cyclesDemandFetch_ += service - queued;
 }
 
+// analyze:hot-path
 std::uint64_t
 MemorySystem::run(TraceSource &src)
 {

@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <cmath>
 #include <utility>
@@ -14,9 +13,73 @@
 #include "trace/time_sampler.hh"
 #include "util/env.hh"
 #include "util/metrics.hh"
+#include "util/mutex.hh"
 #include "util/stats.hh"
+#include "util/thread_annotations.hh"
 
 namespace sbsim {
+
+namespace {
+
+/**
+ * First-exception collector for a worker pool: workers park the first
+ * exception they see, the pool owner rethrows it after the join. The
+ * lock contract is compiler-checked: first_ is only touched under
+ * mutex_, and both methods take the lock themselves (callers must not
+ * hold it).
+ */
+class ErrorCollector
+{
+  public:
+    /** Park std::current_exception() unless one is already parked. */
+    void
+    capture() SBSIM_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        if (!first_)
+            first_ = std::current_exception();
+    }
+
+    /** Rethrow the parked exception, if any. Call after joining. */
+    void
+    rethrowIfAny() SBSIM_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        if (first_)
+            std::rethrow_exception(first_);
+    }
+
+  private:
+    Mutex mutex_;
+    std::exception_ptr first_ SBSIM_GUARDED_BY(mutex_);
+};
+
+/**
+ * Serialises heartbeat lines on stderr. The capability guards the
+ * *stream*, not data: progress counters are atomics owned by the
+ * caller, the mutex only keeps concurrently completing jobs from
+ * interleaving their fprintf bytes mid-line.
+ */
+class HeartbeatPrinter
+{
+  public:
+    void
+    printProgress(std::size_t done, std::size_t total,
+                  std::uint64_t refs, double rate)
+        SBSIM_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu jobs, %llu refs, %.0f refs/s\n",
+                     done, total,
+                     static_cast<unsigned long long>(refs), rate);
+    }
+
+  private:
+    Mutex mutex_;
+};
+
+} // namespace
 
 SweepJob
 benchmarkJob(const std::string &benchmark_name, ScaleLevel level,
@@ -71,8 +134,7 @@ parallelFor(std::size_t count, unsigned jobs,
     }
 
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
+    ErrorCollector errors;
 
     auto body = [&] {
         for (;;) {
@@ -82,9 +144,7 @@ parallelFor(std::size_t count, unsigned jobs,
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+                errors.capture();
             }
         }
     };
@@ -95,8 +155,7 @@ parallelFor(std::size_t count, unsigned jobs,
         pool.emplace_back(body);
     for (std::thread &t : pool)
         t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    errors.rethrowIfAny();
 }
 
 SweepRunner::SweepRunner(unsigned jobs)
@@ -356,7 +415,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::atomic<std::uint64_t> refs_done{0};
     double heartbeat_elapsed = 0;
     ScopedTimer heartbeat_timer(heartbeat_elapsed);
-    std::mutex heartbeat_mutex;
+    HeartbeatPrinter heartbeat_printer;
 
     parallelFor(jobs.size(), jobs_, [&](std::size_t i) {
         const SweepJob &job = jobs[i];
@@ -407,11 +466,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             double elapsed = heartbeat_timer.elapsedSeconds();
             double rate =
                 elapsed > 0 ? static_cast<double>(refs) / elapsed : 0.0;
-            std::lock_guard<std::mutex> lock(heartbeat_mutex);
-            std::fprintf(stderr,
-                         "sweep: %zu/%zu jobs, %llu refs, %.0f refs/s\n",
-                         done, jobs.size(),
-                         static_cast<unsigned long long>(refs), rate);
+            heartbeat_printer.printProgress(done, jobs.size(), refs,
+                                            rate);
         }
     });
     if (heartbeat_ && traceCache_) {

@@ -68,6 +68,7 @@ PrefetchEngine::recordRun(const StreamFlush &flushed, std::uint64_t now)
         lengthDist_.sample(flushed.hitRun, flushed.hitRun);
 }
 
+// analyze:hot-path
 void
 PrefetchEngine::allocateStream(StreamSet &set, Addr start,
                                std::int64_t stride, std::uint64_t now,
@@ -88,6 +89,7 @@ PrefetchEngine::allocateStream(StreamSet &set, Addr start,
         static_cast<std::uint32_t>(lastIssued_.size());
 }
 
+// analyze:hot-path
 EngineOutcome
 PrefetchEngine::onPrimaryMiss(const MemAccess &access, std::uint64_t now)
 {

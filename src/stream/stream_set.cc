@@ -41,6 +41,7 @@ StreamSet::auditState() const
     }
 }
 
+// analyze:hot-path
 StreamLookup
 StreamSet::lookup(Addr a, std::uint64_t now, bool associative)
 {

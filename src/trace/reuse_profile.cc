@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace sbsim {
@@ -101,6 +102,32 @@ ReuseProfiler::updateClasses(std::uint64_t block)
     }
 }
 
+void
+ReuseProfiler::auditState() const
+{
+    SBSIM_ASSERT(refs_ >= footprint_.uniqueBlocks(),
+                 "profiled ", refs_, " references but ",
+                 footprint_.uniqueBlocks(), " distinct blocks");
+    if (!trackDistances_)
+        return;
+    // One marker per live block: the Fenwick total and the
+    // last-position map must agree, or a distance query summed a
+    // marker that was never cleared (or lost one on grow()).
+    SBSIM_ASSERT(prefix(capacity_) == last_.size(),
+                 "Fenwick marker total ", prefix(capacity_),
+                 " diverges from ", last_.size(), " live blocks");
+    SBSIM_ASSERT(last_.size() == footprint_.uniqueBlocks(),
+                 "last-position map tracks ", last_.size(),
+                 " blocks, footprint ", footprint_.uniqueBlocks());
+    // Mass conservation: every reference is either warm (a finite
+    // distance in the histogram) or cold (a footprint first touch) —
+    // the identity every analytic-model denominator rests on.
+    SBSIM_ASSERT(hist_.totalCount() + footprint_.uniqueBlocks() == refs_,
+                 "histogram mass ", hist_.totalCount(), " + ",
+                 footprint_.uniqueBlocks(), " cold misses != ", refs_,
+                 " references");
+}
+
 std::uint64_t
 ReuseProfiler::prefix(std::uint64_t i) const
 {
@@ -154,6 +181,9 @@ ReuseProfiler::onAccess(Addr addr)
     std::uint64_t pos = ++refs_;
     if (!trackDistances_) {
         footprint_.touch(addr);
+#ifdef STREAMSIM_CHECKED
+        auditState();
+#endif
         return;
     }
     if (pos > capacity_)
@@ -165,6 +195,9 @@ ReuseProfiler::onAccess(Addr addr)
         // histogram (its distance is infinite).
         footprint_.touch(addr);
         mark(pos);
+#ifdef STREAMSIM_CHECKED
+        auditState();
+#endif
         return;
     }
     std::uint64_t prev = it->second;
@@ -176,6 +209,9 @@ ReuseProfiler::onAccess(Addr addr)
     unmark(prev);
     mark(pos);
     it->second = pos;
+#ifdef STREAMSIM_CHECKED
+    auditState();
+#endif
 }
 
 ReuseProfiler

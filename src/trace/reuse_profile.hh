@@ -135,6 +135,15 @@ class ReuseProfiler
     unsigned blockSize() const { return footprint_.mapper().blockSize(); }
 
   private:
+    /**
+     * Checked-build structural walk (see util/audit.hh): one Fenwick
+     * marker per live block, last-position map and footprint agree on
+     * the distinct-block count, and histogram mass plus cold misses
+     * conserve the reference total. Always compiled; call sites are
+     * #ifdef STREAMSIM_CHECKED, matching Cache::auditSet.
+     */
+    void auditState() const;
+
     /** Sum of markers at positions [1, i]. */
     std::uint64_t prefix(std::uint64_t i) const;
     void mark(std::uint64_t i);

@@ -10,7 +10,7 @@ TraceCache::instance()
     // Process-wide registry guarded by mutex_; it memoises values that
     // are pure functions of their key, so sharing it across sweeps
     // cannot make any result depend on run history.
-    static TraceCache cache; // determinism-lint: allow(static-state) mutex-guarded memo of key-deterministic traces; affects speed only, results are pinned cached==naive by differential tests
+    static TraceCache cache; // analyze:allow(static-state) mutex-guarded memo of key-deterministic traces; affects speed only, results are pinned cached==naive by differential tests
     return cache;
 }
 
@@ -21,16 +21,34 @@ TraceCache::enabledByEnv()
 }
 
 std::shared_ptr<const MaterializedTrace>
+TraceCache::refHitLocked(const std::string &key)
+{
+    if (auto trace = refTraces_[key].lock()) {
+        ++counters_.refTraceHits;
+        return trace;
+    }
+    return nullptr;
+}
+
+std::shared_ptr<const MissTrace>
+TraceCache::missHitLocked(const std::string &key)
+{
+    if (auto trace = missTraces_[key].lock()) {
+        ++counters_.missTraceHits;
+        return trace;
+    }
+    return nullptr;
+}
+
+std::shared_ptr<const MaterializedTrace>
 TraceCache::getOrMaterialize(
     const std::string &key,
     const std::function<std::unique_ptr<TraceSource>()> &make)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (auto trace = refTraces_[key].lock()) {
-            ++counters_.refTraceHits;
+        MutexLock lock(mutex_);
+        if (auto trace = refHitLocked(key))
             return trace;
-        }
     }
     // Produce outside the lock: materialisation is the expensive part
     // and holding the mutex across it would serialise the sweep pool.
@@ -38,11 +56,10 @@ TraceCache::getOrMaterialize(
     std::shared_ptr<const MaterializedTrace> produced =
         MaterializedTrace::fromSource(*src);
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (auto winner = refTraces_[key].lock()) {
+    MutexLock lock(mutex_);
+    if (auto winner = refHitLocked(key)) {
         // Lost the race; adopt the first writer's copy (identical
         // content — production is deterministic per key).
-        ++counters_.refTraceHits;
         return winner;
     }
     refTraces_[key] = produced;
@@ -53,7 +70,7 @@ TraceCache::getOrMaterialize(
 std::shared_ptr<const MaterializedTrace>
 TraceCache::lookupRefTrace(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = refTraces_.find(key);
     return it == refTraces_.end() ? nullptr : it->second.lock();
 }
@@ -61,7 +78,7 @@ TraceCache::lookupRefTrace(const std::string &key) const
 std::shared_ptr<const MissTrace>
 TraceCache::lookupMissTrace(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = missTraces_.find(key);
     return it == missTraces_.end() ? nullptr : it->second.lock();
 }
@@ -71,20 +88,16 @@ TraceCache::getOrRecord(const std::string &key,
                         const std::function<MissTrace()> &record)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (auto trace = missTraces_[key].lock()) {
-            ++counters_.missTraceHits;
+        MutexLock lock(mutex_);
+        if (auto trace = missHitLocked(key))
             return trace;
-        }
     }
     auto produced =
         std::make_shared<const MissTrace>(record());
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (auto winner = missTraces_[key].lock()) {
-        ++counters_.missTraceHits;
+    MutexLock lock(mutex_);
+    if (auto winner = missHitLocked(key))
         return winner;
-    }
     missTraces_[key] = produced;
     ++counters_.missTracesRecorded;
     return produced;
@@ -93,14 +106,14 @@ TraceCache::getOrRecord(const std::string &key,
 void
 TraceCache::noteReplay()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++counters_.replays;
 }
 
 TraceCacheStats
 TraceCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TraceCacheStats s = counters_;
     s.residentBytes = 0;
     for (const auto &entry : refTraces_) {
@@ -117,7 +130,7 @@ TraceCache::stats() const
 void
 TraceCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     refTraces_.clear();
     missTraces_.clear();
     counters_ = TraceCacheStats{};

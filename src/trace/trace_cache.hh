@@ -33,11 +33,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "trace/materialized_trace.hh"
 #include "trace/miss_trace.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace sbsim {
 
@@ -55,7 +56,18 @@ struct TraceCacheStats
     std::uint64_t residentBytes = 0;
 };
 
-/** The process-wide trace registry (see file comment). */
+/**
+ * The process-wide trace registry (see file comment).
+ *
+ * Lock contract (compiler-checked under STREAMSIM_THREAD_SAFETY):
+ * every public method is a self-contained critical section and must
+ * be called *without* mutex_ held — none of them may be invoked from
+ * a callback running under another TraceCache method, or the process
+ * deadlocks. In particular the producer callbacks passed to
+ * getOrMaterialize/getOrRecord always run outside the lock (that is
+ * what makes first-writer-wins racing safe), so they may themselves
+ * consult the cache.
+ */
 class TraceCache
 {
   public:
@@ -72,16 +84,17 @@ class TraceCache
      */
     std::shared_ptr<const MaterializedTrace> getOrMaterialize(
         const std::string &key,
-        const std::function<std::unique_ptr<TraceSource>()> &make);
+        const std::function<std::unique_ptr<TraceSource>()> &make)
+        SBSIM_EXCLUDES(mutex_);
 
     /** Peek: the cached trace for @p key if still alive, else null.
      *  Does not count as a hit. */
     std::shared_ptr<const MaterializedTrace>
-    lookupRefTrace(const std::string &key) const;
+    lookupRefTrace(const std::string &key) const SBSIM_EXCLUDES(mutex_);
 
     /** Peek at a cached miss trace; does not count as a hit. */
     std::shared_ptr<const MissTrace>
-    lookupMissTrace(const std::string &key) const;
+    lookupMissTrace(const std::string &key) const SBSIM_EXCLUDES(mutex_);
 
     /**
      * Return the miss trace cached under @p key, or produce it via
@@ -90,25 +103,33 @@ class TraceCache
      */
     std::shared_ptr<const MissTrace> getOrRecord(
         const std::string &key,
-        const std::function<MissTrace()> &record);
+        const std::function<MissTrace()> &record)
+        SBSIM_EXCLUDES(mutex_);
 
     /** Count one job served by miss-stream replay. */
-    void noteReplay();
+    void noteReplay() SBSIM_EXCLUDES(mutex_);
 
     /** Snapshot the counters plus current resident bytes. */
-    TraceCacheStats stats() const;
+    TraceCacheStats stats() const SBSIM_EXCLUDES(mutex_);
 
     /** Drop all entries and zero the counters (tests). */
-    void clear();
+    void clear() SBSIM_EXCLUDES(mutex_);
 
   private:
     TraceCache() = default;
 
-    mutable std::mutex mutex_;
+    /** Live entry for @p key, counting a hit; caller holds the lock. */
+    std::shared_ptr<const MaterializedTrace>
+    refHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
+    std::shared_ptr<const MissTrace>
+    missHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
+
+    mutable Mutex mutex_;
     std::map<std::string, std::weak_ptr<const MaterializedTrace>>
-        refTraces_;
-    std::map<std::string, std::weak_ptr<const MissTrace>> missTraces_;
-    TraceCacheStats counters_;
+        refTraces_ SBSIM_GUARDED_BY(mutex_);
+    std::map<std::string, std::weak_ptr<const MissTrace>>
+        missTraces_ SBSIM_GUARDED_BY(mutex_);
+    TraceCacheStats counters_ SBSIM_GUARDED_BY(mutex_);
 };
 
 } // namespace sbsim

@@ -21,6 +21,14 @@
  * system's thread, so serial and parallel sweeps of the same job
  * produce byte-identical JSONL (pinned by the tsan-labelled
  * differential test).
+ *
+ * Thread contract: deliberately unsynchronised, like MetricsRegistry.
+ * Exactly one MemorySystem (hence one worker thread) writes a given
+ * trace, and readers only run after the sweep joins; attaching one
+ * EventTrace to two jobs of the same sweep is a caller bug. The
+ * SBSIM_EVENT macro must stay side-effect-free in its arguments so
+ * attached and detached runs cannot diverge — enforced structurally
+ * by the audit-hygiene analyzer pass (tools/analyze).
  */
 
 #ifndef STREAMSIM_UTIL_EVENT_TRACE_HH

@@ -4,22 +4,36 @@
 #include <cstdio>
 #include <iostream>
 
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
 namespace sbsim {
 
 namespace {
 
-/** Default sink: severity-prefixed lines on stderr. */
+/**
+ * Default sink: severity-prefixed lines on stderr. Sweep workers may
+ * warn concurrently; the mutex keeps each message one contiguous line
+ * (std::cerr is only char-atomic, so an unguarded << chain can
+ * interleave mid-diagnostic). The capability guards the stream, not
+ * any data member.
+ */
 class StderrSink : public LogSink
 {
   public:
     void
-    message(const std::string &severity, const std::string &text) override
+    message(const std::string &severity, const std::string &text)
+        override SBSIM_EXCLUDES(mutex_)
     {
+        MutexLock lock(mutex_);
         // Diagnostics must survive an immediately following abort();
         // '\n' plus an explicit flush is the endl without the idiom
         // clang-tidy's performance-avoid-endl flags.
         std::cerr << severity << ": " << text << '\n' << std::flush;
     }
+
+  private:
+    Mutex mutex_;
 };
 
 StderrSink defaultSink;

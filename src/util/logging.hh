@@ -21,7 +21,15 @@
 
 namespace sbsim {
 
-/** Sink used by the logging helpers; overridable for tests. */
+/**
+ * Sink used by the logging helpers; overridable for tests.
+ *
+ * Thread contract: message() may be invoked concurrently from sweep
+ * workers (any worker can warn), so implementations must be
+ * internally synchronised — the default stderr sink serialises whole
+ * lines under an annotated Mutex. Test sinks that collect into plain
+ * containers are only safe while the test runs single-threaded.
+ */
 class LogSink
 {
   public:

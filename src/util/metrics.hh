@@ -107,6 +107,14 @@ class MetricsSection
  * An ordered collection of sections. The registry itself is
  * shape-agnostic; the converters in sim/ (runMetrics, sweepMetrics,
  * l2StudyMetrics) define which sections exist and in what order.
+ *
+ * Thread contract: deliberately unsynchronised. A registry is built
+ * and serialised by exactly one thread — each sweep job constructs
+ * its own from its own RunOutput after the parallel phase hands the
+ * result back — so it carries no capability and must never be shared
+ * across workers (the thread-safety wall has nothing to check here by
+ * design; sharing one would be a bug at the call site, not in this
+ * class).
  */
 class MetricsRegistry
 {

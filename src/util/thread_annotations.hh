@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation shim.
+ *
+ * The repo's determinism story rests on every piece of shared mutable
+ * state having a *compile-time-checkable* lock contract: which mutex
+ * guards it, which methods require the lock, which must be called
+ * without it. These macros attach that contract as clang
+ * `thread_safety` attributes; under any other compiler (or clang
+ * without the analysis) they compile away to nothing, so annotated
+ * code is portable and zero-cost.
+ *
+ * Enforcement is the STREAMSIM_THREAD_SAFETY CMake option, which adds
+ * `-Wthread-safety -Werror=thread-safety-analysis` and requires
+ * clang; the `thread-safety` CI job keeps the tree warning-clean.
+ *
+ * Conventions (docs/INTERNALS.md "Static analysis & checked builds"):
+ *  - every mutex-guarded member carries SBSIM_GUARDED_BY;
+ *  - private helpers that assume the lock carry SBSIM_REQUIRES;
+ *  - public entry points that take the lock carry SBSIM_EXCLUDES so
+ *    re-entrant misuse (calling back under the caller's lock) is a
+ *    compile error, not a deadlock;
+ *  - SBSIM_NO_THREAD_SAFETY_ANALYSIS is an escape of last resort and
+ *    must carry a comment explaining why the analysis cannot see the
+ *    invariant. The tree currently has zero such escapes.
+ *
+ * libstdc++'s std::mutex is not annotated, so annotated code locks
+ * through the sbsim::Mutex / sbsim::MutexLock wrappers in
+ * util/mutex.hh — the analysis only understands capabilities it can
+ * see.
+ */
+
+#ifndef STREAMSIM_UTIL_THREAD_ANNOTATIONS_HH
+#define STREAMSIM_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && !defined(SWIG)
+#define SBSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SBSIM_THREAD_ANNOTATION(x) // compiled away off-clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define SBSIM_CAPABILITY(x) SBSIM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SBSIM_SCOPED_CAPABILITY SBSIM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define SBSIM_GUARDED_BY(x) SBSIM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define SBSIM_PT_GUARDED_BY(x) SBSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the capability (and does not release it). */
+#define SBSIM_ACQUIRE(...) \
+    SBSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define SBSIM_RELEASE(...) \
+    SBSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function attempts the acquire; first arg is the success value. */
+#define SBSIM_TRY_ACQUIRE(...) \
+    SBSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must already hold the capability. */
+#define SBSIM_REQUIRES(...) \
+    SBSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (the function takes it). */
+#define SBSIM_EXCLUDES(...) \
+    SBSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define SBSIM_RETURN_CAPABILITY(x) \
+    SBSIM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Runtime assertion that the capability is held. */
+#define SBSIM_ASSERT_CAPABILITY(x) \
+    SBSIM_THREAD_ANNOTATION(assert_capability(x))
+
+/**
+ * Opt a function out of the analysis. Last resort: every use must
+ * carry a comment explaining why the contract cannot be expressed,
+ * and the audit-hygiene conventions in docs/INTERNALS.md treat an
+ * unexplained escape as a review defect.
+ */
+#define SBSIM_NO_THREAD_SAFETY_ANALYSIS \
+    SBSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // STREAMSIM_UTIL_THREAD_ANNOTATIONS_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Concurrency stress for the TraceCache registry, exercising the lock
+ * contract the thread-safety annotations document (trace_cache.hh):
+ * many threads hammering getOrMaterialize/getOrRecord over identical
+ * *and* distinct keys, interleaved with lookups and stats snapshots,
+ * then weak-pointer eviction and re-materialization. Runs in the
+ * sweep test binary so the `tsan` CTest label picks it up; under
+ * -fsanitize=thread this is the dynamic check backing the static
+ * SBSIM_GUARDED_BY wall.
+ *
+ * The load-bearing assertions: every thread adopts the same copy per
+ * key (first-writer-wins), and refTracesMaterialized counts exactly
+ * one materialization per distinct key no matter how many producers
+ * raced on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/materialized_trace.hh"
+#include "trace/trace_cache.hh"
+
+using namespace sbsim;
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr std::size_t kKeys = 16;
+
+std::vector<MemAccess>
+patternRefs(std::size_t n)
+{
+    std::vector<MemAccess> refs;
+    refs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr a = static_cast<Addr>(i) * 24 + 0x1000;
+        if (i % 3 == 0)
+            refs.push_back(makeIfetch(0x400000 + i * 4));
+        else if (i % 3 == 1)
+            refs.push_back(makeLoad(a));
+        else
+            refs.push_back(makeStore(a));
+    }
+    return refs;
+}
+
+std::string
+refKey(std::size_t k)
+{
+    return "stress-ref-" + std::to_string(k);
+}
+
+/** Per-key trace length, so content identifies the key. */
+std::size_t
+refLen(std::size_t k)
+{
+    return 64 + 8 * k;
+}
+
+} // namespace
+
+TEST(TraceCacheStress, ParallelGetOverSharedAndDistinctKeys)
+{
+    TraceCache &cache = TraceCache::instance();
+    cache.clear();
+
+    // Each thread fetches every key once, starting from a different
+    // offset, so at any moment several threads contend on the same
+    // key while others work distinct ones. Strong references are held
+    // in `got` until the end, so no entry can be evicted mid-test.
+    std::atomic<int> builds{0};
+    std::vector<std::vector<std::shared_ptr<const MaterializedTrace>>>
+        got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        got[t].resize(kKeys);
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kKeys; ++i) {
+                std::size_t k = (i + static_cast<std::size_t>(t)) % kKeys;
+                got[t][k] = cache.getOrMaterialize(refKey(k), [&, k] {
+                    ++builds;
+                    return std::make_unique<VectorSource>(
+                        patternRefs(refLen(k)));
+                });
+                // Interleave the read-only entry points with the
+                // populating ones; tsan watches the whole mix.
+                if (i % 3 == 0)
+                    cache.lookupRefTrace(refKey(k));
+                if (i % 5 == 0)
+                    cache.stats();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    // Every producer ran at least once per key; extra racing builds
+    // are legal (losers discard), but exactly one copy per key won
+    // and every thread adopted it.
+    EXPECT_GE(builds.load(), static_cast<int>(kKeys));
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        ASSERT_TRUE(got[0][k]) << refKey(k);
+        EXPECT_EQ(got[0][k]->size(), refLen(k)) << refKey(k);
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[t][k].get(), got[0][k].get())
+                << refKey(k) << " thread " << t;
+    }
+
+    // Single materialization per distinct key, however many producers
+    // raced; everyone else was a hit.
+    TraceCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.refTracesMaterialized, kKeys);
+    EXPECT_EQ(stats.refTraceHits + stats.refTracesMaterialized,
+              static_cast<std::uint64_t>(kThreads) * kKeys);
+
+    cache.clear();
+}
+
+TEST(TraceCacheStress, EvictionAndRematerializationUnderThreads)
+{
+    TraceCache &cache = TraceCache::instance();
+    cache.clear();
+
+    // Populate, then drop every strong reference: the weak entries
+    // expire and the registry must report the keys gone.
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        cache.getOrMaterialize(refKey(k), [&, k] {
+            return std::make_unique<VectorSource>(
+                patternRefs(refLen(k)));
+        });
+    }
+    EXPECT_EQ(cache.stats().refTracesMaterialized, kKeys);
+    EXPECT_EQ(cache.stats().residentBytes, 0u);
+    for (std::size_t k = 0; k < kKeys; ++k)
+        EXPECT_EQ(cache.lookupRefTrace(refKey(k)), nullptr) << refKey(k);
+
+    // Re-fetch the expired keys from many threads at once: each key
+    // is materialized exactly once more, and all threads again agree
+    // on the copy.
+    std::vector<std::vector<std::shared_ptr<const MaterializedTrace>>>
+        got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        got[t].resize(kKeys);
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kKeys; ++i) {
+                std::size_t k =
+                    (kKeys - 1 - i + static_cast<std::size_t>(t)) % kKeys;
+                got[t][k] = cache.getOrMaterialize(refKey(k), [&, k] {
+                    return std::make_unique<VectorSource>(
+                        patternRefs(refLen(k)));
+                });
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    for (std::size_t k = 0; k < kKeys; ++k)
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[t][k].get(), got[0][k].get())
+                << refKey(k) << " thread " << t;
+    EXPECT_EQ(cache.stats().refTracesMaterialized, 2 * kKeys);
+    EXPECT_GT(cache.stats().residentBytes, 0u);
+
+    cache.clear();
+}
+
+TEST(TraceCacheStress, ParallelMissTraceRecordingIsSingleWriter)
+{
+    TraceCache &cache = TraceCache::instance();
+    cache.clear();
+
+    std::vector<std::vector<std::shared_ptr<const MissTrace>>>
+        got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        got[t].resize(kKeys);
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kKeys; ++i) {
+                std::size_t k = (i + static_cast<std::size_t>(t)) % kKeys;
+                std::string key = "stress-miss-" + std::to_string(k);
+                got[t][k] = cache.getOrRecord(key, [k] {
+                    MissTrace trace;
+                    trace.append(MissRecord::Kind::DEMAND,
+                                 makeLoad(0x1000 + 64 * k), 3, 0, 0);
+                    trace.summary().references = k + 1;
+                    return trace;
+                });
+                if (i % 4 == 0)
+                    cache.lookupMissTrace(key);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        ASSERT_TRUE(got[0][k]) << k;
+        EXPECT_EQ(got[0][k]->summary().references, k + 1) << k;
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[t][k].get(), got[0][k].get())
+                << "miss key " << k << " thread " << t;
+    }
+    TraceCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.missTracesRecorded, kKeys);
+    EXPECT_EQ(stats.missTraceHits + stats.missTracesRecorded,
+              static_cast<std::uint64_t>(kThreads) * kKeys);
+
+    cache.clear();
+}

@@ -1,0 +1,143 @@
+"""Audit-hygiene pass: SBSIM_AUDIT/SBSIM_EVENT must be side-effect free.
+
+Both macros compile away in release builds (audits unless
+STREAMSIM_CHECKED, events unless STREAMSIM_EVENT_TRACE), so any side
+effect inside their argument lists makes checked and release builds
+*behave differently* — the one bug class a checked build can introduce
+rather than catch. This pass extracts the full (possibly multi-line)
+argument list of every SBSIM_AUDIT / SBSIM_EVENT invocation and bans
+mutation inside it:
+
+  * `++` / `--`,
+  * compound assignment (`+=`, `-=`, `<<=`, ...),
+  * bare assignment `=` (comparisons `==`, `<=`, `>=`, `!=` are fine),
+  * mutating container/ pointer calls: .push_back/.pop_back/.emplace*/
+    .insert/.erase/.clear/.resize/.assign/.reset (also via `->`).
+
+SBSIM_AUDIT_BLOCK is deliberately *not* scanned: it exists precisely
+to hold audit-only bookkeeping (loops, locals) that vanishes with the
+audit, so mutation of its own locals is the intended use.
+
+Rules:
+
+  audit-hygiene   A mutation inside an SBSIM_AUDIT/SBSIM_EVENT
+                  argument list.
+
+Suppress with `// analyze:allow(audit-hygiene) <reason>` on the line
+carrying the mutation.
+"""
+
+import re
+
+import framework
+
+INVOKE_RE = re.compile(r"\bSBSIM_(?:AUDIT|EVENT)\s*\(")
+
+BANNED_PATTERNS = [
+    (re.compile(r"\+\+|--"), "increment/decrement"),
+    (re.compile(r"(?:\+|-|\*|/|%|&|\||\^|<<|>>)="
+                r"(?!=)"), "compound assignment"),
+    (re.compile(r"(?<![=!<>+\-*/%&|^\[])=(?!=)"), "assignment"),
+    (re.compile(r"(?:\.|->)\s*(?:push_back|pop_back|emplace\w*|insert|"
+                r"erase|clear|resize|assign|reset)\s*\("),
+     "mutating call"),
+]
+
+
+class AuditHygienePass(framework.Pass):
+    name = "audit_hygiene"
+    description = ("SBSIM_AUDIT/SBSIM_EVENT argument lists are "
+                   "side-effect free")
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files(subdirs=("src",)):
+            for i, line in enumerate(sf.code_lines):
+                for m in INVOKE_RE.finditer(line):
+                    self._check_invocation(sf, i, m.end(), findings)
+        return findings
+
+    def _check_invocation(self, sf, line_index, open_end, findings):
+        """Walk the argument list starting just past the opening paren
+        at (line_index, open_end), checking each line's slice."""
+        depth = 1
+        j = line_index
+        start = open_end
+        while j < len(sf.code_lines) and depth > 0:
+            line = sf.code_lines[j]
+            end = len(line)
+            for k in range(start, len(line)):
+                if line[k] == "(":
+                    depth += 1
+                elif line[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        end = k
+                        break
+            self._check_segment(sf, j, line[start:end], findings)
+            j += 1
+            start = 0
+
+    def _check_segment(self, sf, index, segment, findings):
+        raw_line = sf.raw_line(index)
+        for pattern, why in BANNED_PATTERNS:
+            if pattern.search(segment) and \
+                    not framework.allowed(raw_line, "audit-hygiene"):
+                findings.append(framework.Finding(
+                    sf.rel, index + 1, "audit-hygiene",
+                    f"{why} inside an audit/event macro argument "
+                    f"(compiles away in release builds)"))
+
+    def self_test_cases(self):
+        return [
+            ("comparisons are clean",
+             {"src/cache/a.cc":
+              'SBSIM_AUDIT(valid == count, "set ", set);\n'
+              'SBSIM_AUDIT(cycles_ >= before && x <= y, "m");\n'
+              'SBSIM_AUDIT(a != b, "m");\n'},
+             set()),
+            ("multi-line invocation is clean",
+             {"src/cache/b.cc":
+              'SBSIM_AUDIT(setIndex(base) == set,\n'
+              '            "audit of set ", set,\n'
+              '            " way ", way);\n'},
+             set()),
+            ("increment inside an audit fires",
+             {"src/cache/c.cc": 'SBSIM_AUDIT(++calls < kMax, "m");\n'},
+             {"audit-hygiene"}),
+            ("event argument with post-increment fires",
+             {"src/stream/a.cc":
+              "SBSIM_EVENT(trace_, cycles_, kind, addr, n++);\n"},
+             {"audit-hygiene"}),
+            ("bare assignment fires",
+             {"src/sim/a.cc": 'SBSIM_AUDIT(ok = check(), "m");\n'},
+             {"audit-hygiene"}),
+            ("compound assignment fires on its line",
+             {"src/sim/b.cc":
+              'SBSIM_AUDIT(total(x) > 0,\n'
+              '            mass += x,\n'
+              '            "m");\n'},
+             {"audit-hygiene"}),
+            ("mutating call fires",
+             {"src/trace/a.cc":
+              'SBSIM_AUDIT(!seen.insert(tag).second, "dup ", tag);\n'},
+             {"audit-hygiene"}),
+            ("side effects after the closing paren are out of scope",
+             {"src/trace/b.cc":
+              'SBSIM_AUDIT(a == b, "m"); ++counter;\n'},
+             set()),
+            ("SBSIM_AUDIT_BLOCK bookkeeping is exempt",
+             {"src/sim/c.cc":
+              "SBSIM_AUDIT_BLOCK(\n"
+              "    std::uint64_t sum = 0;\n"
+              "    for (int i = 0; i < n; ++i) sum += v[i];);\n"},
+             set()),
+            ("suppression is honoured",
+             {"src/sim/d.cc":
+              'SBSIM_AUDIT(legacy = probe(), "m");  '
+              "// analyze:allow(audit-hygiene) probe is pure\n"},
+             set()),
+        ]
+
+
+PASS = AuditHygienePass()

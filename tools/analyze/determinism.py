@@ -1,0 +1,199 @@
+"""Determinism pass: forbid the static sources of nondeterminism.
+
+The repo's headline guarantee is that every simulation result is a pure
+function of (configuration, seed): parallel sweeps and batched trace
+delivery are bit-identical to their serial counterparts. The
+differential tests check that property dynamically; this pass forbids
+the *sources* of nondeterminism statically, so a violation is caught in
+review rather than as a flaky golden pin three PRs later.
+
+Rules (see docs/INTERNALS.md "Static analysis & checked builds"):
+
+  entropy       src/**        rand()/srand(), std::random_device,
+                              std::mt19937 (seeded or not; Pcg32 is the
+                              only sanctioned generator), time(),
+                              gettimeofday/clock_gettime/clock(),
+                              system_clock/high_resolution_clock.
+                              steady_clock is allowed for wall-clock
+                              *reporting* only (ScopedTimer).
+  unordered-iter src/**       Iterating an unordered container in a
+                              result-producing path: iteration order is
+                              implementation-defined and varies with
+                              the hash seed/load factor. Membership
+                              queries, insert and size() are fine.
+  static-state  src/{cache,   Mutable namespace-scope or function-local
+                stream,sim,   `static` state in the simulation hot
+                trace}        paths: shared state breaks parallel-sweep
+                              isolation and makes results depend on run
+                              history. `static const(expr)` is fine.
+  float-accum   src/**        `float` anywhere, and `+=`/`++`
+                              accumulation into a `double`: stats
+                              counters must be integral (Counter) so
+                              totals are exact and associative; doubles
+                              are for *derived* ratios only.
+"""
+
+import re
+
+import framework
+
+HOT_DIRS = ("src/cache", "src/stream", "src/sim", "src/trace")
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand() is unseeded global state"),
+    (re.compile(r"\bsrand\s*\("), "srand() mutates global RNG state"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is entropy"),
+    (re.compile(r"\bmt19937\b"),
+     "std::mt19937 is unsanctioned; use sbsim::Pcg32 with an explicit "
+     "seed"),
+    (re.compile(r"\btime\s*\("), "time() reads the wall clock"),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b|\bclock\s*\("),
+     "wall/CPU clock read"),
+    (re.compile(r"\bsystem_clock\b|\bhigh_resolution_clock\b"),
+     "non-steady clock read (steady_clock is allowed for reporting)"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)\s*"
+    r"[;={(]")
+STATIC_RE = re.compile(r"^\s*static\s+")
+STATIC_OK_RE = re.compile(
+    r"static\s+(?:const\b|constexpr\b)|static_assert|static_cast")
+FUNC_DECL_RE = re.compile(r"static\s+[\w:<>,\s*&~]+?\b\w+\s*\(")
+DOUBLE_DECL_RE = re.compile(r"\bdouble\s+(\w+)\s*[;={]")
+FLOAT_RE = re.compile(r"\bfloat\b")
+
+
+class DeterminismPass(framework.Pass):
+    name = "determinism"
+    description = ("entropy, unordered iteration, hot-path static "
+                   "state and float accumulation")
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files(subdirs=("src",)):
+            self._lint_file(sf, findings)
+        return findings
+
+    def _lint_file(self, sf, findings):
+        in_hot_dir = sf.rel.startswith(
+            tuple(d + "/" for d in HOT_DIRS))
+
+        # Pass 1: collect unordered-container and double-typed names.
+        unordered_names = set()
+        double_names = set()
+        for line in sf.code_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered_names.add(m.group(1))
+            for m in DOUBLE_DECL_RE.finditer(line):
+                double_names.add(m.group(1))
+
+        unordered_iter_res = [
+            re.compile(r"for\s*\([^;)]*:\s*(?:\w+\s*\.\s*)?" +
+                       re.escape(n) + r"\b")
+            for n in unordered_names
+        ] + [
+            re.compile(r"\b" + re.escape(n) + r"\s*\.\s*c?begin\s*\(")
+            for n in unordered_names
+        ]
+        double_accum_res = [
+            re.compile(r"\b" + re.escape(n) + r"\s*(?:\+=|\+\+)|"
+                       r"\+\+\s*" + re.escape(n) + r"\b")
+            for n in double_names
+        ]
+
+        def report(lineno, rule, message):
+            findings.append(
+                framework.Finding(sf.rel, lineno, rule, message))
+
+        # Pass 2: match rules line by line.
+        for i, line in enumerate(sf.code_lines):
+            raw_line = sf.raw_line(i)
+            lineno = i + 1
+
+            for pattern, why in ENTROPY_PATTERNS:
+                if pattern.search(line) and \
+                        not framework.allowed(raw_line, "entropy"):
+                    report(lineno, "entropy", why)
+
+            for pattern in unordered_iter_res:
+                if pattern.search(line) and \
+                        not framework.allowed(raw_line, "unordered-iter"):
+                    report(
+                        lineno, "unordered-iter",
+                        "iteration over an unordered container: order "
+                        "is implementation-defined")
+
+            # gem5 style puts the return type on its own line, so a
+            # static member function definition spans two lines; join
+            # with the next line before testing for a function shape.
+            next_line = sf.code_lines[i + 1] \
+                if i + 1 < len(sf.code_lines) else ""
+            if in_hot_dir and STATIC_RE.search(line) and \
+                    not STATIC_OK_RE.search(line) and \
+                    not FUNC_DECL_RE.search(
+                        line + " " + next_line.strip()) and \
+                    not framework.allowed(raw_line, "static-state"):
+                report(lineno, "static-state",
+                       "mutable static state in a hot-path component")
+
+            if FLOAT_RE.search(line) and \
+                    not framework.allowed(raw_line, "float-accum"):
+                report(lineno, "float-accum",
+                       "float type: stats use integral Counter or "
+                       "double-derived ratios")
+
+            for pattern in double_accum_res:
+                if pattern.search(line) and \
+                        not framework.allowed(raw_line, "float-accum"):
+                    report(
+                        lineno, "float-accum",
+                        "accumulation into a double: counters must be "
+                        "integral (derive ratios at reporting time)")
+
+    def self_test_cases(self):
+        snippets = [
+            # (snippet, relative path, expected rules)
+            ("int x = rand();", "src/cache/a.cc", {"entropy"}),
+            ("std::mt19937 gen(42);", "src/sim/a.cc", {"entropy"}),
+            ("std::mt19937 gen;", "src/sim/b.cc", {"entropy"}),
+            ("auto t = time(nullptr);", "src/trace/a.cc", {"entropy"}),
+            ("std::random_device rd;", "src/util/a.cc", {"entropy"}),
+            ("auto n = std::chrono::system_clock::now();",
+             "src/sim/c.cc", {"entropy"}),
+            ("// comment mentioning rand() only", "src/cache/c.cc",
+             set()),
+            ("Pcg32 rng_{0x5eed};", "src/stream/a.cc", set()),
+            ("std::unordered_set<int> s;\nfor (int v : s) { use(v); }",
+             "src/sim/d.cc", {"unordered-iter"}),
+            ("std::unordered_map<int, int> m;\nauto it = m.begin();",
+             "src/sim/e.cc", {"unordered-iter"}),
+            ("std::unordered_set<int> s;\ns.insert(3); "
+             "auto n = s.size();", "src/sim/f.cc", set()),
+            ("static std::uint64_t calls = 0;", "src/cache/d.cc",
+             {"static-state"}),
+            ("static const char *name = \"x\";", "src/cache/e.cc",
+             set()),
+            ("static constexpr int kN = 4;", "src/stream/b.cc", set()),
+            ("static unsigned defaultJobs();", "src/sim/g.cc", set()),
+            ("static std::uint64_t calls = 0;", "src/workloads/a.cc",
+             set()),
+            ("float hitRate = 0;", "src/util/b.cc", {"float-accum"}),
+            ("double total = 0;\ntotal += x;", "src/util/c.cc",
+             {"float-accum"}),
+            ("double seconds = 0;  // determinism-lint: allow("
+             "float-accum) wall-clock\nseconds += dt;  "
+             "// determinism-lint: allow(float-accum) wall-clock",
+             "src/util/d.cc", set()),
+            ("double eps = 0;  // analyze:allow(float-accum) tolerance\n"
+             "eps += step;  // analyze:allow(float-accum) tolerance",
+             "src/util/f.cc", set()),
+            ("double rate = percent(hits, misses);", "src/util/e.cc",
+             set()),
+        ]
+        return [(f"case {i}: {snippet.splitlines()[0][:40]!r}",
+                 {rel: snippet + "\n"}, expected)
+                for i, (snippet, rel, expected) in enumerate(snippets)]
+
+
+PASS = DeterminismPass()

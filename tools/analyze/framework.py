@@ -1,0 +1,181 @@
+"""Shared infrastructure for the streamsim static-analysis passes.
+
+A pass is a small Python module under tools/analyze/ exposing a
+subclass of `Pass`. The framework owns everything the passes share, so
+each pass is only its rules:
+
+  * the file walker (`Context.files`) with comment/string stripping
+    that preserves line numbers (`SourceFile.code_lines`);
+  * the suppression syntax: `// analyze:allow(<rule>) <reason>` on the
+    offending line (the legacy `// determinism-lint: allow(<rule>)`
+    spelling is honoured too). The reason is mandatory by convention —
+    reviewed, not parsed;
+  * the self-test harness: every pass ships good/bad fixtures
+    (`self_test_cases`) that are materialised into a temp tree and
+    checked before the real scan, so a silently dead regex fails the
+    ctest run instead of rotting;
+  * the CLI driver (`main`, used via tools/analyze/run.py) with the
+    shared exit-code contract: 0 clean, 1 findings (or self-test
+    failure), 2 usage/environment error.
+
+Registered passes (one ctest entry each, `lint` label; also folded
+into the CI static-analysis job): determinism, layering, hotpath,
+headers, audit_hygiene. docs/INTERNALS.md "Static analysis & checked
+builds" documents each pass's rules and how to extend the set.
+"""
+
+import os
+import re
+import tempfile
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"' + r"|'(?:[^'\\]|\\.)*'")
+
+ALLOW_RES = [
+    re.compile(r"analyze:\s*allow\(([a-z0-9-]+)\)"),
+    # Legacy spelling from the pre-framework determinism lint; existing
+    # suppressions keep working.
+    re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)"),
+]
+
+SOURCE_EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+
+def strip_code(text):
+    """Remove block comments, line comments and string/char literals,
+    preserving line structure so reported line numbers stay right."""
+    def blank_keep_newlines(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank_keep_newlines, text, flags=re.S)
+    lines = []
+    for line in text.split("\n"):
+        line = STRING_RE.sub('""', line)
+        line = LINE_COMMENT_RE.sub("", line)
+        lines.append(line)
+    return lines
+
+
+def allowed(raw_line, rule):
+    """True when the raw line carries a suppression for @p rule."""
+    for pattern in ALLOW_RES:
+        m = pattern.search(raw_line)
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+class Finding:
+    """One reported violation, formatted `rel:line: [rule] message`."""
+
+    def __init__(self, rel, line, rule, message):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One on-disk source file with raw and code-stripped line views."""
+
+    def __init__(self, root, path):
+        self.path = path
+        self.rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        self.raw_lines = raw.split("\n")
+        self.code_lines = strip_code(raw)
+
+    def raw_line(self, index):
+        """Raw text of 0-based line @p index ('' past the end)."""
+        if 0 <= index < len(self.raw_lines):
+            return self.raw_lines[index]
+        return ""
+
+
+class Context:
+    """A scan rooted at a repo checkout plus the parsed CLI options."""
+
+    def __init__(self, root, args=None):
+        self.root = root
+        self.args = args
+        self._cache = {}
+
+    def files(self, subdirs=("src",), exts=SOURCE_EXTS):
+        """All matching SourceFiles under root/<subdir>, sorted by
+        relative path; parsed once per (subdirs, exts) pair."""
+        key = (tuple(subdirs), tuple(exts))
+        if key not in self._cache:
+            paths = []
+            for sub in subdirs:
+                top = os.path.join(self.root, sub)
+                for dirpath, dirnames, filenames in os.walk(top):
+                    dirnames.sort()
+                    for name in sorted(filenames):
+                        if name.endswith(tuple(exts)):
+                            paths.append(os.path.join(dirpath, name))
+            self._cache[key] = [SourceFile(self.root, p) for p in paths]
+        return self._cache[key]
+
+
+class Pass:
+    """Base class; subclasses set name/description and implement run().
+
+    self_test_cases() returns (label, files, expected_rules) tuples:
+    files maps repo-relative paths to contents, expected_rules is the
+    set of rule names that must fire on that fixture tree (empty set =
+    must be clean). Every expected rule must fire and no unexpected
+    rule may; that keeps both halves of each rule honest.
+    """
+
+    name = ""
+    description = ""
+
+    def run(self, ctx):
+        raise NotImplementedError
+
+    def self_test_cases(self):
+        return []
+
+    def self_test(self, args=None):
+        failures = []
+        cases = self.self_test_cases()
+        for label, files, expected in cases:
+            with tempfile.TemporaryDirectory() as tmp:
+                for rel, content in files.items():
+                    path = os.path.join(tmp, rel)
+                    os.makedirs(os.path.dirname(path), exist_ok=True)
+                    with open(path, "w", encoding="utf-8") as f:
+                        f.write(content)
+                findings = self.run(Context(tmp, args))
+                fired = {f.rule for f in findings}
+                if fired != set(expected):
+                    shown = [str(f) for f in findings] or ["clean"]
+                    failures.append(
+                        f"{label}: expected rules {sorted(expected)}, "
+                        f"got {shown}")
+        if failures:
+            print(f"analyze[{self.name}] self-test FAILED:")
+            for f in failures:
+                print("  " + f)
+            return False
+        print(f"analyze[{self.name}] self-test: {len(cases)} fixtures ok")
+        return True
+
+
+def run_pass(pass_, root, args=None, self_test=False):
+    """Self-test (optionally) then scan @p root. Returns an exit code."""
+    if self_test and not pass_.self_test(args):
+        return 1
+    ctx = Context(root, args)
+    findings = pass_.run(ctx)
+    if findings:
+        print(f"analyze[{pass_.name}]: {len(findings)} finding(s):")
+        for finding in findings:
+            print("  " + str(finding))
+        return 1
+    print(f"analyze[{pass_.name}]: clean")
+    return 0

@@ -1,0 +1,111 @@
+"""Header pass: every header under src/ must compile standalone.
+
+Each src/**.hh is wrapped in a one-line translation unit and fed to
+`$CXX -std=c++20 -fsyntax-only -I src`, so a header that silently
+leans on whatever its current includers happen to pull in first fails
+here instead of when someone reorders includes three PRs later.
+
+Unlike the regex passes this one shells out to the real compiler, so
+it shares the toolchain requirement of the build itself. The compiler
+is resolved from `--cxx` (the ctest registration passes the configured
+CMAKE_CXX_COMPILER), then $CXX, then the first of c++/g++/clang++ on
+PATH; with none available the pass exits 2 (environment error) rather
+than pretending the tree is clean.
+
+Rules:
+
+  header-standalone   The header failed to compile on its own; the
+                      message carries the first compiler error line.
+
+There is no comment suppression for this pass — a header either
+compiles or it does not; fix the missing include.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import framework
+
+
+def resolve_compiler(args):
+    if args is not None and getattr(args, "cxx", None):
+        return args.cxx
+    env = os.environ.get("CXX")
+    if env:
+        return env
+    for candidate in ("c++", "g++", "clang++"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+class HeadersPass(framework.Pass):
+    name = "headers"
+    description = "every src/**.hh compiles as a standalone TU"
+
+    def run(self, ctx):
+        cxx = resolve_compiler(ctx.args)
+        if cxx is None:
+            print("analyze[headers] error: no C++ compiler found "
+                  "(pass --cxx, set $CXX, or put c++/g++/clang++ on "
+                  "PATH)", file=sys.stderr)
+            sys.exit(2)
+        src_dir = os.path.join(ctx.root, "src")
+        findings = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for sf in ctx.files(subdirs=("src",), exts=(".hh",)):
+                rel_in_src = os.path.relpath(
+                    sf.path, src_dir).replace(os.sep, "/")
+                tu = os.path.join(
+                    tmp, rel_in_src.replace("/", "__") + ".cc")
+                with open(tu, "w", encoding="utf-8") as f:
+                    f.write(f'#include "{rel_in_src}"\n')
+                proc = subprocess.run(
+                    [cxx, "-std=c++20", "-fsyntax-only",
+                     "-I", src_dir, tu],
+                    capture_output=True, text=True)
+                if proc.returncode != 0:
+                    first_error = next(
+                        (l for l in proc.stderr.splitlines()
+                         if ": error:" in l or ": fatal error:" in l),
+                        proc.stderr.strip().splitlines()[0]
+                        if proc.stderr.strip() else "compiler failed")
+                    findings.append(framework.Finding(
+                        sf.rel, 1, "header-standalone",
+                        f"does not compile standalone: {first_error}"))
+        return findings
+
+    def self_test_cases(self):
+        good = ("#ifndef GOOD_HH\n"
+                "#define GOOD_HH\n"
+                "#include <cstdint>\n"
+                "inline std::uint64_t twice(std::uint64_t x) "
+                "{ return 2 * x; }\n"
+                "#endif\n")
+        bad = ("#ifndef BAD_HH\n"
+               "#define BAD_HH\n"
+               "inline std::size_t length(const std::string &s) "
+               "{ return s.size(); }\n"
+               "#endif\n")
+        uses_sibling = ("#ifndef SIB_HH\n"
+                        "#define SIB_HH\n"
+                        '#include "foo/good.hh"\n'
+                        "inline std::uint64_t quad(std::uint64_t x) "
+                        "{ return twice(twice(x)); }\n"
+                        "#endif\n")
+        return [
+            ("self-sufficient headers are clean",
+             {"src/foo/good.hh": good,
+              "src/bar/sibling.hh": uses_sibling},
+             set()),
+            ("missing include fails standalone",
+             {"src/foo/good.hh": good, "src/foo/bad.hh": bad},
+             {"header-standalone"}),
+        ]
+
+
+PASS = HeadersPass()

@@ -1,0 +1,141 @@
+"""Layering pass: enforce the module dependency DAG over includes.
+
+The tree is layered (docs/INTERNALS.md "Static analysis & checked
+builds"): util has no dependencies; mem sits on util; trace on
+mem+util; cache and stream are sibling consumers of mem+util (cache
+additionally reads recorded traces); workloads generates traces;
+baseline (the RPT comparison machinery) may price caches; sim composes
+everything. tools/, tests/ and bench/ sit above the whole library and
+may include anything — but nothing under src/ may reach up into them.
+
+Allowed includes per module (a module may always include itself):
+
+  util      -> (nothing)
+  mem       -> util
+  trace     -> mem, util
+  cache     -> trace, mem, util
+  stream    -> trace, mem, util
+  workloads -> trace, mem, util
+  baseline  -> cache, trace, mem, util
+  sim       -> cache, stream, baseline, workloads, trace, mem, util
+
+Rules:
+
+  layering          An `#include "other/..."` crossing the DAG the
+                    wrong way, targeting an unknown module (which
+                    includes anything under tools/tests/bench), or
+                    using a `..` path component. Same-directory
+                    includes (no slash) are always fine.
+
+Suppression (`// analyze:allow(layering) <reason>`) exists for
+completeness but a hit should normally be fixed by moving code down a
+layer or extracting a shared header into util/mem.
+"""
+
+import re
+
+import framework
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+ALLOWED_DEPS = {
+    "util": set(),
+    "mem": {"util"},
+    "trace": {"mem", "util"},
+    "cache": {"trace", "mem", "util"},
+    "stream": {"trace", "mem", "util"},
+    "workloads": {"trace", "mem", "util"},
+    "baseline": {"cache", "trace", "mem", "util"},
+    "sim": {"cache", "stream", "baseline", "workloads", "trace", "mem",
+            "util"},
+}
+
+
+class LayeringPass(framework.Pass):
+    name = "layering"
+    description = "include hygiene against the module dependency DAG"
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files(subdirs=("src",)):
+            parts = sf.rel.split("/")
+            # src/<module>/<file>; anything directly under src/ (none
+            # today) would belong to no module and gets every edge
+            # checked as unknown-module below.
+            module = parts[1] if len(parts) == 3 else None
+            if module is not None and module not in ALLOWED_DEPS:
+                findings.append(framework.Finding(
+                    sf.rel, 1, "layering",
+                    f"module '{module}' is not in the layering DAG; "
+                    f"add it to tools/analyze/layering.py with its "
+                    f"allowed dependencies"))
+                continue
+            for i, raw_line in enumerate(sf.raw_lines):
+                m = INCLUDE_RE.match(raw_line)
+                if not m or framework.allowed(raw_line, "layering"):
+                    continue
+                path = m.group(1)
+                lineno = i + 1
+                if ".." in path.split("/"):
+                    findings.append(framework.Finding(
+                        sf.rel, lineno, "layering",
+                        f'relative include "{path}": include with a '
+                        f"module-qualified path from -Isrc instead"))
+                    continue
+                if "/" not in path:
+                    continue  # Same-directory include.
+                target = path.split("/")[0]
+                if target not in ALLOWED_DEPS:
+                    findings.append(framework.Finding(
+                        sf.rel, lineno, "layering",
+                        f'include "{path}" leaves the src layering '
+                        f"DAG (src never reaches into tools/tests/"
+                        f"bench or unknown modules)"))
+                elif module is not None and target != module and \
+                        target not in ALLOWED_DEPS[module]:
+                    findings.append(framework.Finding(
+                        sf.rel, lineno, "layering",
+                        f'include "{path}" breaks the DAG: {module} '
+                        f"may only depend on "
+                        f"{sorted(ALLOWED_DEPS[module]) or 'nothing'}"))
+        return findings
+
+    def self_test_cases(self):
+        return [
+            ("downward includes are clean",
+             {"src/cache/a.hh": '#include "mem/types.hh"\n'
+                                '#include "util/stats.hh"\n',
+              "src/sim/b.cc": '#include "cache/cache.hh"\n'
+                              '#include "stream/stream_set.hh"\n'},
+             set()),
+            ("same-directory include is clean",
+             {"src/stream/a.cc": '#include "stream_set.hh"\n'
+                                 '#include <vector>\n'},
+             set()),
+            ("upward include breaks the DAG",
+             {"src/mem/a.hh": '#include "cache/cache.hh"\n'},
+             {"layering"}),
+            ("util must depend on nothing",
+             {"src/util/a.cc": '#include "trace/source.hh"\n'},
+             {"layering"}),
+            ("sibling cache<->stream edge is forbidden",
+             {"src/cache/a.cc": '#include "stream/stream_set.hh"\n'},
+             {"layering"}),
+            ("relative include is forbidden",
+             {"src/trace/a.cc": '#include "../cache/cache.hh"\n'},
+             {"layering"}),
+            ("src must not reach into tools",
+             {"src/sim/a.cc": '#include "tools/helper.hh"\n'},
+             {"layering"}),
+            ("unknown module needs registering",
+             {"src/newmod/a.cc": '#include "util/stats.hh"\n'},
+             {"layering"}),
+            ("suppression is honoured",
+             {"src/mem/a.hh":
+              '#include "cache/cache.hh"  '
+              '// analyze:allow(layering) transitional, see #42\n'},
+             set()),
+        ]
+
+
+PASS = LayeringPass()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Driver for the streamsim static-analysis passes.
+
+Usage:
+  tools/analyze/run.py [--root DIR] [--self-test] [--cxx CXX] \
+      [PASS ...]
+  tools/analyze/run.py --list
+
+With no PASS arguments every registered pass runs; otherwise only the
+named ones. `--self-test` validates each pass against its embedded
+good/bad fixtures before scanning the real tree (the ctest entries and
+CI always pass it). `--cxx` names the compiler for the headers pass
+(falling back to $CXX, then c++/g++/clang++ on PATH).
+
+Exit status: 0 all clean, 1 findings or self-test failure, 2 usage or
+environment error. See framework.py for the pass API and
+docs/INTERNALS.md "Static analysis & checked builds" for the rules.
+"""
+
+import argparse
+import importlib
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.realpath(__file__)))
+
+import framework  # noqa: E402  (path bootstrap above)
+
+PASS_MODULES = [
+    "determinism",
+    "layering",
+    "hotpath",
+    "headers",
+    "audit_hygiene",
+]
+
+
+def load_passes():
+    return [importlib.import_module(name).PASS for name in PASS_MODULES]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="streamsim static-analysis driver")
+    parser.add_argument("passes", nargs="*", metavar="PASS",
+                        help="passes to run (default: all)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate each pass against its embedded "
+                             "fixtures before scanning")
+    parser.add_argument("--cxx", default=None,
+                        help="C++ compiler for the headers pass")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered passes and exit")
+    args = parser.parse_args()
+
+    all_passes = load_passes()
+    if args.list:
+        for p in all_passes:
+            print(f"{p.name:15s} {p.description}")
+        return 0
+
+    by_name = {p.name: p for p in all_passes}
+    if args.passes:
+        unknown = [n for n in args.passes if n not in by_name]
+        if unknown:
+            print(f"error: unknown pass(es) {unknown}; "
+                  f"known: {sorted(by_name)}", file=sys.stderr)
+            return 2
+        selected = [by_name[n] for n in args.passes]
+    else:
+        selected = all_passes
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.realpath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: {root} has no src/ directory", file=sys.stderr)
+        return 2
+
+    worst = 0
+    for p in selected:
+        code = framework.run_pass(p, root, args,
+                                  self_test=args.self_test)
+        worst = max(worst, code)
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,292 +1,30 @@
 #!/usr/bin/env python3
-"""Structural determinism lint for the streamsim tree.
+"""Compatibility shim: the determinism lint moved into the pass
+framework at tools/analyze/ (run.py determinism). This wrapper keeps
+old invocations and docs working; prefer calling the driver directly:
 
-The repo's headline guarantee is that every simulation result is a pure
-function of (configuration, seed): parallel sweeps and batched trace
-delivery are bit-identical to their serial counterparts. The
-differential tests check that property dynamically; this lint forbids
-the *sources* of nondeterminism statically, so a violation is caught in
-review rather than as a flaky golden pin three PRs later.
-
-Rules (see docs/INTERNALS.md "Static analysis & checked builds"):
-
-  entropy       src/**        rand()/srand(), std::random_device,
-                              std::mt19937 (seeded or not; Pcg32 is the
-                              only sanctioned generator), time(),
-                              gettimeofday/clock_gettime/clock(),
-                              system_clock/high_resolution_clock.
-                              steady_clock is allowed for wall-clock
-                              *reporting* only (ScopedTimer).
-  unordered-iter src/**       Iterating an unordered container in a
-                              result-producing path: iteration order is
-                              implementation-defined and varies with
-                              the hash seed/load factor. Membership
-                              queries, insert and size() are fine.
-  static-state  src/{cache,   Mutable namespace-scope or function-local
-                stream,sim,   `static` state in the simulation hot
-                trace}        paths: shared state breaks parallel-sweep
-                              isolation and makes results depend on run
-                              history. `static const(expr)` is fine.
-  float-accum   src/**        `float` anywhere, and `+=`/`++`
-                              accumulation into a `double`: stats
-                              counters must be integral (Counter) so
-                              totals are exact and associative; doubles
-                              are for *derived* ratios only.
-
-Suppression: append `// determinism-lint: allow(<rule>) <reason>` to
-the offending line. The reason is mandatory by convention (reviewed,
-not parsed).
-
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
-errors. `--self-test` checks the rules against embedded positive and
-negative samples first; the ctest registration runs both.
+  tools/analyze/run.py [--root DIR] [--self-test] determinism
 """
 
-import argparse
 import os
-import re
+import subprocess
 import sys
-
-HOT_DIRS = ("src/cache", "src/stream", "src/sim", "src/trace")
-
-ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z-]+)\)")
-
-ENTROPY_PATTERNS = [
-    (re.compile(r"\brand\s*\("), "rand() is unseeded global state"),
-    (re.compile(r"\bsrand\s*\("), "srand() mutates global RNG state"),
-    (re.compile(r"\brandom_device\b"), "std::random_device is entropy"),
-    (re.compile(r"\bmt19937\b"),
-     "std::mt19937 is unsanctioned; use sbsim::Pcg32 with an explicit "
-     "seed"),
-    (re.compile(r"\btime\s*\("), "time() reads the wall clock"),
-    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b|\bclock\s*\("),
-     "wall/CPU clock read"),
-    (re.compile(r"\bsystem_clock\b|\bhigh_resolution_clock\b"),
-     "non-steady clock read (steady_clock is allowed for reporting)"),
-]
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)\s*"
-    r"[;={(]")
-STATIC_RE = re.compile(r"^\s*static\s+")
-STATIC_OK_RE = re.compile(
-    r"static\s+(?:const\b|constexpr\b)|static_assert|static_cast")
-FUNC_DECL_RE = re.compile(r"static\s+[\w:<>,\s*&~]+?\b\w+\s*\(")
-DOUBLE_DECL_RE = re.compile(r"\bdouble\s+(\w+)\s*[;={]")
-FLOAT_RE = re.compile(r"\bfloat\b")
-
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"' + r"|'(?:[^'\\]|\\.)*'")
-
-
-def strip_code(text):
-    """Remove block comments, line comments and string/char literals,
-    preserving line structure so reported line numbers stay right."""
-    # Block comments first (may span lines).
-    def blank_keep_newlines(m):
-        return re.sub(r"[^\n]", " ", m.group(0))
-
-    text = re.sub(r"/\*.*?\*/", blank_keep_newlines, text, flags=re.S)
-    lines = []
-    for line in text.split("\n"):
-        line = STRING_RE.sub('""', line)
-        line = LINE_COMMENT_RE.sub("", line)
-        lines.append(line)
-    return lines
-
-
-class Linter:
-    def __init__(self, root):
-        self.root = root
-        self.findings = []
-
-    def report(self, path, lineno, rule, message):
-        rel = os.path.relpath(path, self.root)
-        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-    def allowed(self, raw_line, rule):
-        m = ALLOW_RE.search(raw_line)
-        return bool(m) and m.group(1) == rule
-
-    def lint_file(self, path):
-        with open(path, encoding="utf-8") as f:
-            raw = f.read()
-        raw_lines = raw.split("\n")
-        code_lines = strip_code(raw)
-        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
-        in_hot_dir = rel.startswith(tuple(d + "/" for d in HOT_DIRS))
-
-        # Pass 1: collect unordered-container and double-typed names.
-        unordered_names = set()
-        double_names = set()
-        for line in code_lines:
-            for m in UNORDERED_DECL_RE.finditer(line):
-                unordered_names.add(m.group(1))
-            for m in DOUBLE_DECL_RE.finditer(line):
-                double_names.add(m.group(1))
-
-        unordered_iter_res = [
-            re.compile(r"for\s*\([^;)]*:\s*(?:\w+\s*\.\s*)?" +
-                       re.escape(n) + r"\b")
-            for n in unordered_names
-        ] + [
-            re.compile(r"\b" + re.escape(n) + r"\s*\.\s*c?begin\s*\(")
-            for n in unordered_names
-        ]
-        double_accum_res = [
-            re.compile(r"\b" + re.escape(n) + r"\s*(?:\+=|\+\+)|"
-                       r"\+\+\s*" + re.escape(n) + r"\b")
-            for n in double_names
-        ]
-
-        # Pass 2: match rules line by line.
-        for i, line in enumerate(code_lines):
-            raw_line = raw_lines[i] if i < len(raw_lines) else line
-            lineno = i + 1
-
-            for pattern, why in ENTROPY_PATTERNS:
-                if pattern.search(line) and \
-                        not self.allowed(raw_line, "entropy"):
-                    self.report(path, lineno, "entropy", why)
-
-            for pattern in unordered_iter_res:
-                if pattern.search(line) and \
-                        not self.allowed(raw_line, "unordered-iter"):
-                    self.report(
-                        path, lineno, "unordered-iter",
-                        "iteration over an unordered container: order "
-                        "is implementation-defined")
-
-            # gem5 style puts the return type on its own line, so a
-            # static member function definition spans two lines; join
-            # with the next line before testing for a function shape.
-            next_line = code_lines[i + 1] if i + 1 < len(code_lines) else ""
-            if in_hot_dir and STATIC_RE.search(line) and \
-                    not STATIC_OK_RE.search(line) and \
-                    not FUNC_DECL_RE.search(line + " " + next_line.strip()) \
-                    and not self.allowed(raw_line, "static-state"):
-                self.report(
-                    path, lineno, "static-state",
-                    "mutable static state in a hot-path component")
-
-            if FLOAT_RE.search(line) and \
-                    not self.allowed(raw_line, "float-accum"):
-                self.report(path, lineno, "float-accum",
-                            "float type: stats use integral Counter or "
-                            "double-derived ratios")
-
-            for pattern in double_accum_res:
-                if pattern.search(line) and \
-                        not self.allowed(raw_line, "float-accum"):
-                    self.report(
-                        path, lineno, "float-accum",
-                        "accumulation into a double: counters must be "
-                        "integral (derive ratios at reporting time)")
-
-
-def iter_source_files(src_root):
-    for dirpath, _, filenames in os.walk(src_root):
-        for name in sorted(filenames):
-            if name.endswith((".cc", ".hh", ".cpp", ".hpp", ".h")):
-                yield os.path.join(dirpath, name)
-
-
-SELF_TEST_CASES = [
-    # (snippet, relative path, expected rule or None)
-    ("int x = rand();", "src/cache/a.cc", "entropy"),
-    ("std::mt19937 gen(42);", "src/sim/a.cc", "entropy"),
-    ("std::mt19937 gen;", "src/sim/b.cc", "entropy"),
-    ("auto t = time(nullptr);", "src/trace/a.cc", "entropy"),
-    ("std::random_device rd;", "src/util/a.cc", "entropy"),
-    ("auto n = std::chrono::system_clock::now();", "src/sim/c.cc",
-     "entropy"),
-    ("// comment mentioning rand() only", "src/cache/c.cc", None),
-    ("Pcg32 rng_{0x5eed};", "src/stream/a.cc", None),
-    ("std::unordered_set<int> s;\nfor (int v : s) { use(v); }",
-     "src/sim/d.cc", "unordered-iter"),
-    ("std::unordered_map<int, int> m;\nauto it = m.begin();",
-     "src/sim/e.cc", "unordered-iter"),
-    ("std::unordered_set<int> s;\ns.insert(3); auto n = s.size();",
-     "src/sim/f.cc", None),
-    ("static std::uint64_t calls = 0;", "src/cache/d.cc",
-     "static-state"),
-    ("static const char *name = \"x\";", "src/cache/e.cc", None),
-    ("static constexpr int kN = 4;", "src/stream/b.cc", None),
-    ("static unsigned defaultJobs();", "src/sim/g.cc", None),
-    ("static std::uint64_t calls = 0;", "src/workloads/a.cc", None),
-    ("float hitRate = 0;", "src/util/b.cc", "float-accum"),
-    ("double total = 0;\ntotal += x;", "src/util/c.cc", "float-accum"),
-    ("double seconds = 0;  // determinism-lint: allow(float-accum) "
-     "wall-clock\nseconds += dt;  // determinism-lint: allow("
-     "float-accum) wall-clock", "src/util/d.cc", None),
-    ("double rate = percent(hits, misses);", "src/util/e.cc", None),
-]
-
-
-def self_test():
-    import tempfile
-
-    failures = []
-    for snippet, rel, expected in SELF_TEST_CASES:
-        with tempfile.TemporaryDirectory() as tmp:
-            path = os.path.join(tmp, rel)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(snippet + "\n")
-            linter = Linter(tmp)
-            linter.lint_file(path)
-            rules = {f.split("[")[1].split("]")[0]
-                     for f in linter.findings}
-            if expected is None and linter.findings:
-                failures.append(
-                    f"expected clean, got {linter.findings} for: "
-                    f"{snippet!r}")
-            elif expected is not None and expected not in rules:
-                failures.append(
-                    f"expected [{expected}], got {linter.findings or 'clean'}"
-                    f" for: {snippet!r}")
-    if failures:
-        print("determinism-lint self-test FAILED:")
-        for f in failures:
-            print("  " + f)
-        return False
-    print(f"determinism-lint self-test: {len(SELF_TEST_CASES)} cases ok")
-    return True
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("root", nargs="?", default=None,
-                        help="repo root (default: this script's parent)")
-    parser.add_argument("--self-test", action="store_true",
-                        help="validate the rules against embedded "
-                             "samples before scanning")
-    args = parser.parse_args()
-
-    if args.self_test and not self_test():
-        return 1
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.realpath(__file__)))
-    src_root = os.path.join(root, "src")
-    if not os.path.isdir(src_root):
-        print(f"error: {src_root} is not a directory", file=sys.stderr)
-        return 2
-
-    linter = Linter(root)
-    count = 0
-    for path in iter_source_files(src_root):
-        linter.lint_file(path)
-        count += 1
-
-    if linter.findings:
-        print(f"determinism-lint: {len(linter.findings)} finding(s) "
-              f"in {count} files:")
-        for finding in linter.findings:
-            print("  " + finding)
-        return 1
-    print(f"determinism-lint: clean ({count} files)")
-    return 0
+    here = os.path.dirname(os.path.realpath(__file__))
+    driver = os.path.join(here, "analyze", "run.py")
+    argv = sys.argv[1:]
+    # The old CLI took the root as a positional; the driver's
+    # positionals are pass names, so translate it to --root.
+    passthrough = []
+    for arg in argv:
+        if arg == "--self-test" or arg.startswith("--"):
+            passthrough.append(arg)
+        else:
+            passthrough.extend(["--root", arg])
+    return subprocess.call(
+        [sys.executable, driver, *passthrough, "determinism"])
 
 
 if __name__ == "__main__":

@@ -15,10 +15,11 @@ Behaviour:
     WarningsAsErrors, this driver only aggregates.
 
 The checker binary is resolved from --clang-tidy, then $CLANG_TIDY,
-then a list of common versioned names. When none exists the script
-fails: the CMake target only wires this script up when a binary was
-found at configure time, so reaching this error means the environment
-changed under the build directory.
+then a list of common versioned names. When none exists the default is
+a loud notice and exit 0, so the always-present CMake `tidy` target
+stays harmless on machines without clang-tidy; pass --require (CI
+configures with STREAMSIM_REQUIRE_TIDY=ON, which adds it) to turn a
+missing binary into a hard failure instead of a silently green gate.
 """
 
 import argparse
@@ -105,14 +106,22 @@ def main():
                         help="parallel clang-tidy processes")
     parser.add_argument("--source-root", default=None,
                         help="repo root (default: this script's parent)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 1) when no clang-tidy binary "
+                             "is found instead of skipping with exit 0")
     parser.add_argument("paths", nargs="*",
                         help="restrict the run to these files")
     args = parser.parse_args()
 
     clang_tidy = find_clang_tidy(args.clang_tidy)
     if not clang_tidy:
-        sys.exit("error: no clang-tidy binary found "
-                 "(tried --clang-tidy, $CLANG_TIDY, versioned names)")
+        message = ("no clang-tidy binary found (tried --clang-tidy, "
+                   "$CLANG_TIDY, versioned names)")
+        if args.require:
+            sys.exit(f"error: {message}")
+        print(f"tidy: SKIPPED — {message}; pass --require to make "
+              "this an error", file=sys.stderr)
+        return 0
 
     source_root = args.source_root or os.path.dirname(
         os.path.dirname(os.path.realpath(__file__)))
