@@ -1,0 +1,438 @@
+#include "json.hh"
+
+#include <charconv>
+
+namespace sbsim {
+namespace service {
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::OBJECT)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent parser over one string_view; tracks offset. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonParseResult
+    parse()
+    {
+        JsonParseResult result;
+        skipSpace();
+        if (!parseValue(result.value, 0))
+            return fail(result);
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing bytes after the JSON document";
+            return fail(result);
+        }
+        return result;
+    }
+
+  private:
+    JsonParseResult
+    fail(JsonParseResult &result)
+    {
+        result.value = JsonValue();
+        result.error = error_.empty() ? "malformed JSON" : error_;
+        result.errorOffset = pos_;
+        return result;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        if (atEnd() || peek() != c) {
+            error_ = std::string("expected '") + c + '\'';
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            error_ = "unrecognised token";
+            return false;
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth >= kJsonMaxDepth) {
+            error_ = "nesting deeper than " +
+                     std::to_string(kJsonMaxDepth) + " levels";
+            return false;
+        }
+        if (atEnd()) {
+            error_ = "unexpected end of input";
+            return false;
+        }
+        switch (peek()) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue::makeString(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue::makeNull();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, std::size_t depth)
+    {
+        if (!expect('{'))
+            return false;
+        out = JsonValue::makeObject();
+        skipSpace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (out.find(key)) {
+                error_ = "duplicate object key \"" + key + '"';
+                return false;
+            }
+            skipSpace();
+            if (!expect(':'))
+                return false;
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members().emplace_back(std::move(key),
+                                       std::move(value));
+            skipSpace();
+            if (atEnd()) {
+                error_ = "unterminated object";
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, std::size_t depth)
+    {
+        if (!expect('['))
+            return false;
+        out = JsonValue::makeArray();
+        skipSpace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.array().push_back(std::move(value));
+            skipSpace();
+            if (atEnd()) {
+                error_ = "unterminated array";
+                return false;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseHex4(std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            error_ = "truncated \\u escape";
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<std::size_t>(i)];
+            std::uint32_t digit = 0;
+            if (c >= '0' && c <= '9') {
+                digit = static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                digit = static_cast<std::uint32_t>(c - 'a') + 10;
+            } else if (c >= 'A' && c <= 'F') {
+                digit = static_cast<std::uint32_t>(c - 'A') + 10;
+            } else {
+                error_ = "bad hex digit in \\u escape";
+                return false;
+            }
+            out = out * 16 + digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            s.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (atEnd() || peek() != '"') {
+            error_ = "expected a string";
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                error_ = "unescaped control character in string";
+                return false;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (atEnd())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: the low half must follow.
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+                        error_ = "high surrogate without a low pair";
+                        return false;
+                    }
+                    pos_ += 2;
+                    std::uint32_t low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff) {
+                        error_ = "bad low surrogate";
+                        return false;
+                    }
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    error_ = "stray low surrogate";
+                    return false;
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                error_ = "unknown string escape";
+                --pos_;
+                return false;
+            }
+        }
+        error_ = "unterminated string";
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        if (peek() == '-') {
+            negative = true;
+            ++pos_;
+        }
+        if (atEnd() || peek() < '0' || peek() > '9') {
+            error_ = "malformed number";
+            return false;
+        }
+        // JSON forbids leading zeros ("012"); from_chars accepts
+        // them, so check here.
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+            error_ = "leading zero in number";
+            return false;
+        }
+        while (!atEnd() && peek() >= '0' && peek() <= '9')
+            ++pos_;
+        bool integral = true;
+        if (!atEnd() && peek() == '.') {
+            integral = false;
+            ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9') {
+                error_ = "digits must follow the decimal point";
+                return false;
+            }
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            integral = false;
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9') {
+                error_ = "malformed exponent";
+                return false;
+            }
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+
+        const char *begin = text_.data() + start;
+        const char *end = text_.data() + pos_;
+        if (integral && !negative) {
+            std::uint64_t v = 0;
+            auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+            if (ec != std::errc{} || ptr != end) {
+                error_ = "integer does not fit in 64 bits";
+                pos_ = start;
+                return false;
+            }
+            out = JsonValue::makeUint(v);
+            return true;
+        }
+        if (integral) {
+            std::int64_t v = 0;
+            auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+            if (ec != std::errc{} || ptr != end) {
+                error_ = "integer does not fit in 64 bits";
+                pos_ = start;
+                return false;
+            }
+            out = JsonValue::makeInt(v);
+            return true;
+        }
+        double v = 0;
+        auto [ptr, ec] = std::from_chars(begin, end, v);
+        if (ec != std::errc{} || ptr != end) {
+            error_ = "unrepresentable real number";
+            pos_ = start;
+            return false;
+        }
+        out = JsonValue::makeReal(v);
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace service
+} // namespace sbsim

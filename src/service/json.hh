@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Strict, dependency-free JSON parsing for the sweep service's
+ * newline-delimited request protocol.
+ *
+ * The parser is deliberately severe, following the conventions
+ * util/env.cc set for environment variables: numbers go through
+ * std::from_chars (no locale, no silent wrap — an integer that does
+ * not fit its type is an *error*, not a saturation), trailing bytes
+ * after the document are rejected, duplicate object keys are
+ * rejected, and every failure carries the byte offset it was
+ * detected at so the error response can point at the garbage. A
+ * malformed request must produce a structured error, never a crash
+ * and never a half-parsed request that silently drops fields.
+ *
+ * Scope: RFC 8259 minus nothing the protocol needs — objects, arrays,
+ * strings (with \uXXXX escapes, surrogate pairs included), integers,
+ * reals, booleans, null. Nesting depth is capped so hostile input
+ * cannot overflow the parse stack.
+ */
+
+#ifndef STREAMSIM_SERVICE_JSON_HH
+#define STREAMSIM_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbsim {
+namespace service {
+
+/** Maximum container nesting the parser accepts. */
+inline constexpr std::size_t kJsonMaxDepth = 32;
+
+/**
+ * One parsed JSON value. Integers keep their exact integral identity
+ * (UINT for values in uint64 range without a minus sign, INT for
+ * negatives) so protocol fields can range-check without going through
+ * a double; numbers written with a fraction or exponent are REAL.
+ * Object members preserve insertion order.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        NUL,
+        BOOL,
+        UINT,
+        INT,
+        REAL,
+        STRING,
+        ARRAY,
+        OBJECT,
+    };
+
+    JsonValue() = default;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue
+    makeBool(bool v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::BOOL;
+        j.bool_ = v;
+        return j;
+    }
+    static JsonValue
+    makeUint(std::uint64_t v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::UINT;
+        j.uint_ = v;
+        return j;
+    }
+    static JsonValue
+    makeInt(std::int64_t v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::INT;
+        j.int_ = v;
+        return j;
+    }
+    static JsonValue
+    makeReal(double v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::REAL;
+        j.real_ = v;
+        return j;
+    }
+    static JsonValue
+    makeString(std::string v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::STRING;
+        j.string_ = std::move(v);
+        return j;
+    }
+    static JsonValue
+    makeArray()
+    {
+        JsonValue j;
+        j.kind_ = Kind::ARRAY;
+        return j;
+    }
+    static JsonValue
+    makeObject()
+    {
+        JsonValue j;
+        j.kind_ = Kind::OBJECT;
+        return j;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::NUL; }
+
+    /** Typed accessors; only valid for the matching kind. */
+    bool boolValue() const { return bool_; }
+    std::uint64_t uintValue() const { return uint_; }
+    std::int64_t intValue() const { return int_; }
+    double realValue() const { return real_; }
+    const std::string &stringValue() const { return string_; }
+
+    std::vector<JsonValue> &array() { return array_; }
+    const std::vector<JsonValue> &array() const { return array_; }
+
+    std::vector<std::pair<std::string, JsonValue>> &
+    members()
+    {
+        return members_;
+    }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+  private:
+    Kind kind_ = Kind::NUL;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double real_ = 0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Parse outcome: a value, or an error with the offending offset. */
+struct JsonParseResult
+{
+    JsonValue value;
+    std::string error; ///< Empty on success.
+    std::size_t errorOffset = 0;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parse exactly one JSON document spanning all of @p text (leading
+ * and trailing ASCII whitespace allowed, anything else after the
+ * value is an error).
+ */
+JsonParseResult parseJson(std::string_view text);
+
+} // namespace service
+} // namespace sbsim
+
+#endif // STREAMSIM_SERVICE_JSON_HH

@@ -1,0 +1,220 @@
+#include "run_spec.hh"
+
+#include <cmath>
+
+#include "sim/memory_system.hh"
+#include "trace/file_trace.hh"
+#include "trace/materialized_trace.hh"
+#include "trace/reuse_profile.hh"
+#include "trace/time_sampler.hh"
+#include "trace/trace_cache.hh"
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace sbsim {
+namespace service {
+
+std::string
+validateSpec(const RunSpec &spec)
+{
+    if (spec.benchmark.empty() && spec.traceFile.empty())
+        return "need a benchmark or a trace file";
+    if (!spec.benchmark.empty() && !spec.traceFile.empty())
+        return "benchmark and trace file are exclusive";
+    if (!spec.benchmark.empty() && !hasBenchmark(spec.benchmark))
+        return "unknown benchmark: " + spec.benchmark;
+    if (spec.refs == 0)
+        return "refs must be positive";
+    if (spec.streams == 0)
+        return "streams must be positive";
+    if (spec.depth == 0)
+        return "depth must be positive";
+    if (spec.czoneBits && (*spec.czoneBits == 0 || *spec.czoneBits >= 64))
+        return "czone bits must be in [1, 63]";
+    if (spec.pageBits < 6 || spec.pageBits >= 32)
+        return "page bits must be in [6, 31]";
+    if (spec.l2KiloBytes != 0 && !isPowerOf2(spec.l2KiloBytes))
+        return "l2 size must be a power of two (KB)";
+    if (spec.czoneBits && spec.minDelta)
+        return "czone and min-delta are mutually exclusive";
+    if ((spec.czoneBits || spec.minDelta) && !spec.unitFilter)
+        return "stride detection requires the unit filter (the "
+               "non-unit filter sits behind the unit-stride filter)";
+    if (spec.l2Model && *spec.l2Model != L2ModelKind::SIMULATED &&
+        spec.l2KiloBytes == 0)
+        return "l2 model analytic|both needs a secondary cache "
+               "(the model predicts that cache)";
+    return "";
+}
+
+MemorySystemConfig
+specSystemConfig(const RunSpec &spec)
+{
+    AllocationPolicy policy = spec.unitFilter
+                                  ? AllocationPolicy::UNIT_FILTER
+                                  : AllocationPolicy::ALWAYS;
+    StrideDetection stride = StrideDetection::NONE;
+    unsigned czone_bits = 18;
+    if (spec.czoneBits) {
+        stride = StrideDetection::CZONE;
+        czone_bits = *spec.czoneBits;
+    } else if (spec.minDelta) {
+        stride = StrideDetection::MIN_DELTA;
+    }
+
+    MemorySystemConfig config =
+        paperSystemConfig(spec.streams, policy, stride, czone_bits);
+    config.useStreams = !spec.noStreams;
+    config.streams.depth = spec.depth;
+    config.streams.partitioned = spec.partitioned;
+    config.victimBufferEntries = spec.victimEntries;
+    if (spec.shuffledPages)
+        config.translation = TranslationMode::SHUFFLED;
+    config.pageBits = spec.pageBits;
+    if (spec.l2KiloBytes > 0) {
+        config.useL2 = true;
+        config.l2.sizeBytes = std::uint64_t{spec.l2KiloBytes} * 1024;
+    }
+    config.busCyclesPerBlock = spec.busCycles;
+    return config;
+}
+
+std::unique_ptr<TraceSource>
+makeSpecInput(const RunSpec &spec)
+{
+    auto chain = std::make_unique<OwningSourceChain>();
+    TraceSource *base = nullptr;
+    if (!spec.benchmark.empty()) {
+        base = &chain->add(
+            findBenchmark(spec.benchmark).makeWorkload(spec.scale));
+    } else {
+        base =
+            &chain->add(std::make_unique<TraceReader>(spec.traceFile));
+    }
+    if (spec.timeSample)
+        base = &chain->add(
+            std::make_unique<TimeSampler>(*base, 10000, 90000));
+    chain->add(std::make_unique<TruncatingSource>(*base, spec.refs));
+    return chain;
+}
+
+std::string
+specSourceKey(const RunSpec &spec)
+{
+    return "cli|" +
+           (!spec.benchmark.empty() ? "bench:" + spec.benchmark
+                                    : "file:" + spec.traceFile) +
+           '|' + std::to_string(static_cast<int>(spec.scale)) + '|' +
+           std::to_string(spec.refs) + '|' +
+           (spec.timeSample ? "ts" : "full");
+}
+
+L2ModelKind
+effectiveL2Model(const RunSpec &spec)
+{
+    L2ModelKind kind =
+        spec.l2Model ? *spec.l2Model : l2ModelFromEnv();
+    if (kind != L2ModelKind::SIMULATED && spec.l2KiloBytes == 0) {
+        SBSIM_WARN("SBSIM_L2_MODEL=", toString(kind),
+                   " ignored: no secondary cache configured (--l2)");
+        return L2ModelKind::SIMULATED;
+    }
+    return kind;
+}
+
+RunExecution
+executeRun(const RunSpec &spec, EventTrace *events,
+           bool use_trace_cache,
+           const std::function<void(MemorySystem &)> &inspect)
+{
+    const MemorySystemConfig config = specSystemConfig(spec);
+    const L2ModelKind l2_model = effectiveL2Model(spec);
+    MemorySystem system(config);
+    if (events)
+        system.attachEventTrace(events);
+    // The recorder taps the post-L1 demand stream alongside the full
+    // simulation (it is orthogonal to the configured secondary
+    // level), so one run yields both the simulated L2 and the input
+    // of the analytic model.
+    MissTrace miss_trace;
+    if (l2_model != L2ModelKind::SIMULATED)
+        system.attachMissRecorder(&miss_trace);
+
+    RunExecution exec;
+    if (use_trace_cache && !events) {
+        std::shared_ptr<const MaterializedTrace> trace =
+            TraceCache::instance().getOrMaterialize(
+                specSourceKey(spec),
+                [&spec] { return makeSpecInput(spec); });
+        SharedTraceView view(std::move(trace));
+        exec.references = system.run(view);
+    } else {
+        std::unique_ptr<TraceSource> input = makeSpecInput(spec);
+        exec.references = system.run(*input);
+    }
+    if (l2_model != L2ModelKind::SIMULATED)
+        system.finalizeMissRecorder();
+    exec.output = collectOutput(system);
+
+    if (l2_model != L2ModelKind::SIMULATED) {
+        // One exact conflict class for the configured L2 geometry;
+        // with it registered the distance histogram is never
+        // consulted, so skip its maintenance.
+        const bool covered =
+            config.l2.numSets() > 1 && config.l2.assoc <= 16;
+        ReuseProfiler profile(config.l2.blockSize,
+                              /*track_distances=*/!covered);
+        if (covered)
+            profile.trackGeometry(
+                static_cast<std::uint32_t>(config.l2.numSets()),
+                config.l2.assoc);
+        profileMissTraceInto(profile, miss_trace);
+        AnalyticL2Model model(profile);
+        L2AnalyticReport &rep = exec.output.l2Analytic;
+        rep.model = toString(l2_model);
+        rep.predictedMissRatioPct =
+            model.predictMissRatioPercent(config.l2);
+        rep.predictedHitRatePct =
+            model.predictLocalHitRatePercent(config.l2);
+        rep.profiledMisses = profile.references();
+        rep.uniqueBlocks = profile.uniqueBlocks();
+        if (l2_model == L2ModelKind::BOTH && config.useL2 &&
+            profile.references() > 0) {
+            rep.simulatedMissRatioPct =
+                100.0 - exec.output.results.l2LocalHitRatePercent;
+            rep.absErrorPct = std::abs(rep.predictedMissRatioPct -
+                                       rep.simulatedMissRatioPct);
+        }
+    }
+    if (inspect)
+        inspect(system);
+    return exec;
+}
+
+std::vector<SweepJob>
+buildSweepJobs(const RunSpec &spec,
+               const std::vector<std::uint32_t> &values,
+               std::vector<EventTrace> *event_traces)
+{
+    const std::string source_key = specSourceKey(spec);
+    const L2ModelKind l2_model = effectiveL2Model(spec);
+    std::vector<SweepJob> jobs;
+    jobs.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        RunSpec point = spec;
+        point.streams = values[i];
+        SweepJob job;
+        job.label = std::to_string(values[i]);
+        job.config = specSystemConfig(point);
+        job.sourceKey = source_key;
+        job.l2Model = l2_model;
+        job.makeSource = [point] { return makeSpecInput(point); };
+        if (event_traces)
+            job.eventTrace = &(*event_traces)[i];
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace service
+} // namespace sbsim

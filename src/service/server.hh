@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The sweep service: a long-running daemon that executes run/sweep
+ * requests over a local Unix stream socket (see service/protocol.hh
+ * for the wire format).
+ *
+ * Architecture — four kinds of thread, one shared queue:
+ *
+ *  - the accept thread waits on the listening socket plus a self-pipe
+ *    and spawns one reader thread per connection;
+ *  - reader threads split the byte stream into request lines, answer
+ *    cheap operations (ping/stats) inline, and submit run/sweep work
+ *    through the admission gate;
+ *  - executor threads drain the bounded queue and run requests
+ *    through the shared RunSpec core (service/run_spec.hh), writing
+ *    each response to its connection as it completes — connections
+ *    are shared_ptr-owned so a response can land after its reader has
+ *    gone away;
+ *  - sweeps fan out further on a per-request SweepRunner pool.
+ *
+ * Admission control is explicit: a request arriving with maxQueue
+ * items already pending is rejected with a structured error, never
+ * silently buffered — a long-running service that buffers without
+ * bound has the same disease the trace cache's key maps had.
+ *
+ * The process-wide TraceCache is genuinely shared across requests:
+ * two clients sweeping the same benchmark coalesce on one
+ * materialised trace (first-writer-wins), and the cache's purge path
+ * keeps its key maps bounded by the live working set no matter how
+ * many requests retire.
+ *
+ * Graceful drain (SIGTERM via notifySignal(), or a "shutdown"
+ * request): stop accepting connections and requests, finish
+ * everything already admitted, answer late arrivals with a
+ * "draining" rejection, then flush the cache-effectiveness report to
+ * stderr on the way out.
+ */
+
+#ifndef STREAMSIM_SERVICE_SERVER_HH
+#define STREAMSIM_SERVICE_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace sbsim {
+namespace service {
+
+/** Longest request line the service accepts (1 MiB). */
+inline constexpr std::size_t kMaxRequestLine = 1u << 20;
+
+/** Deployment knobs of one SweepService instance. */
+struct ServiceConfig
+{
+    /** Filesystem path of the listening socket (created on start();
+     *  a stale file from a previous run is replaced). */
+    std::string socketPath;
+    /** Concurrent request executors. */
+    unsigned executors = 2;
+    /** Worker threads per sweep request (0 = SweepRunner default). */
+    unsigned sweepJobs = 0;
+    /** Admitted-but-not-started requests beyond which new run/sweep
+     *  requests are rejected. */
+    std::size_t maxQueue = 16;
+    /** Trace reuse across requests (the point of the daemon). */
+    bool traceCache = true;
+};
+
+/** The daemon (see file comment). start(), then waitUntilStopped()
+ *  blocks until a drain is requested and fully carried out. */
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceConfig config);
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Bind, listen, and spawn the thread complement. @return false
+     *  with @p error set when the socket cannot be set up. */
+    bool start(std::string &error);
+
+    /**
+     * Begin graceful drain: refuse new connections and requests,
+     * let admitted work finish. Idempotent; safe from any thread
+     * (but NOT from a signal handler — use notifySignal() there).
+     */
+    void requestDrain();
+
+    /**
+     * Async-signal-safe drain trigger for SIGTERM/SIGINT handlers:
+     * one write() to the self-pipe of the most recently started
+     * instance. Everything else happens on the accept thread.
+     */
+    static void notifySignal();
+
+    /** Join every thread, tear the socket down, and flush the
+     *  trace-cache report. Returns once the service is fully cold. */
+    void waitUntilStopped();
+
+    /** True once a drain has been requested. */
+    bool draining() const;
+
+  private:
+    /** One client connection: the fd plus a write gate so executor
+     *  threads and the reader interleave whole response lines. */
+    struct Connection
+    {
+        explicit Connection(int fd) : fd(fd) {}
+        ~Connection();
+
+        /** Write one response line; partial writes are completed,
+         *  errors (client gone) are swallowed. */
+        void writeLine(const std::string &line)
+            SBSIM_EXCLUDES(writeMutex);
+
+        const int fd;
+        Mutex writeMutex;
+    };
+
+    /** One admitted run/sweep request. */
+    struct WorkItem
+    {
+        Request request;
+        std::shared_ptr<Connection> conn;
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void executorLoop();
+
+    /** Dispatch one request line from @p conn. */
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    std::string_view line) SBSIM_EXCLUDES(mutex_);
+
+    /** Execute one admitted request and write its response. */
+    void execute(const WorkItem &item);
+
+    ServiceConfig config_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;  ///< Self-pipe: drain wake-up for poll loops.
+    int wakeWrite_ = -1;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> executorThreads_;
+
+    mutable Mutex mutex_;
+    CondVar queueCv_;
+    std::deque<WorkItem> queue_ SBSIM_GUARDED_BY(mutex_);
+    bool draining_ SBSIM_GUARDED_BY(mutex_) = false;
+    std::vector<std::thread> connThreads_ SBSIM_GUARDED_BY(mutex_);
+};
+
+} // namespace service
+} // namespace sbsim
+
+#endif // STREAMSIM_SERVICE_SERVER_HH

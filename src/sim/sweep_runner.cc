@@ -161,7 +161,8 @@ parallelFor(std::size_t count, unsigned jobs,
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? defaultJobs() : jobs),
       heartbeat_(envBool("SBSIM_PROGRESS").value_or(false)),
-      traceCache_(TraceCache::enabledByEnv())
+      traceCache_(TraceCache::enabledByEnv()),
+      cacheReport_(envBool("SBSIM_CACHE_REPORT").value_or(true))
 {}
 
 std::string
@@ -470,20 +471,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                                             rate);
         }
     });
-    if (heartbeat_ && traceCache_) {
-        TraceCacheStats s = TraceCache::instance().stats();
-        std::fprintf(
-            stderr,
-            "sweep: trace cache: ref %llu hit / %llu built, miss "
-            "%llu hit / %llu recorded, %llu replays, %llu bytes "
-            "resident\n",
-            static_cast<unsigned long long>(s.refTraceHits),
-            static_cast<unsigned long long>(s.refTracesMaterialized),
-            static_cast<unsigned long long>(s.missTraceHits),
-            static_cast<unsigned long long>(s.missTracesRecorded),
-            static_cast<unsigned long long>(s.replays),
-            static_cast<unsigned long long>(s.residentBytes));
-    }
+    // The effectiveness report has its own toggle: it used to ride
+    // heartbeat_, which silently dropped it from every cache-enabled
+    // run that did not also ask for progress output.
+    if (cacheReport_ && traceCache_)
+        printTraceCacheReport(TraceCache::instance().stats(), stderr);
     return results;
 }
 
@@ -544,7 +536,10 @@ writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os,
            << cache_stats->missTracesRecorded
            << ",\"replays\":" << cache_stats->replays
            << ",\"resident_bytes\":" << cache_stats->residentBytes
-           << '}';
+           << ",\"expired_purged\":" << cache_stats->expiredPurged
+           << ",\"ref_trace_entries\":" << cache_stats->refTraceEntries
+           << ",\"miss_trace_entries\":"
+           << cache_stats->missTraceEntries << '}';
     }
     os << "}}\n";
 }

@@ -25,6 +25,13 @@
  *   SBSIM_SERIAL=B    force serial; B in 1/true/yes/on (or the
  *                     0/false/no/off negations).
  *   SBSIM_PROGRESS=B  emit the sweep heartbeat on stderr.
+ *   SBSIM_CACHE_REPORT=B  end-of-sweep trace-cache effectiveness
+ *                     report on stderr. Defaults on; it only prints
+ *                     when the cache is enabled for the runner, so
+ *                     unset means "report whenever there is a cache
+ *                     to report on". (It used to ride the heartbeat
+ *                     flag, so cache-enabled runs without
+ *                     SBSIM_PROGRESS silently dropped it.)
  *   SBSIM_TRACE_CACHE=B  trace reuse across jobs (default on): jobs
  *                     sharing a source key replay one materialised
  *                     trace, and jobs also sharing an L1 front end
@@ -163,6 +170,16 @@ class SweepRunner
     bool heartbeat() const { return heartbeat_; }
 
     /**
+     * Emit the end-of-sweep trace-cache effectiveness report on
+     * stderr (printTraceCacheReport). Defaults to SBSIM_CACHE_REPORT,
+     * which defaults *on*: the report is the cache's only visibility
+     * in non-progress runs. It prints only when the cache is enabled
+     * — with reuse off there are no cache numbers to report.
+     */
+    void setCacheReport(bool on) { cacheReport_ = on; }
+    bool cacheReport() const { return cacheReport_; }
+
+    /**
      * Enable/disable trace reuse (Level 1 materialisation + Level 2
      * miss-stream replay) for this runner. Defaults to
      * SBSIM_TRACE_CACHE (on when unset). Purely a performance knob:
@@ -197,6 +214,7 @@ class SweepRunner
     unsigned jobs_;
     bool heartbeat_;
     bool traceCache_;
+    bool cacheReport_;
 };
 
 /**

@@ -1,8 +1,33 @@
 #include "trace_cache.hh"
 
+#include "util/audit.hh"
 #include "util/env.hh"
 
 namespace sbsim {
+
+namespace {
+
+/**
+ * Erase every expired entry of @p map and return how many went. The
+ * two key maps only differ in mapped type, hence the template.
+ */
+template <typename Map>
+std::size_t
+eraseExpired(Map &map)
+{
+    std::size_t purged = 0;
+    for (auto it = map.begin(); it != map.end();) {
+        if (it->second.expired()) {
+            it = map.erase(it);
+            ++purged;
+        } else {
+            ++it;
+        }
+    }
+    return purged;
+}
+
+} // namespace
 
 TraceCache &
 TraceCache::instance()
@@ -23,7 +48,10 @@ TraceCache::enabledByEnv()
 std::shared_ptr<const MaterializedTrace>
 TraceCache::refHitLocked(const std::string &key)
 {
-    if (auto trace = refTraces_[key].lock()) {
+    auto it = refTraces_.find(key);
+    if (it == refTraces_.end())
+        return nullptr;
+    if (auto trace = it->second.lock()) {
         ++counters_.refTraceHits;
         return trace;
     }
@@ -33,11 +61,43 @@ TraceCache::refHitLocked(const std::string &key)
 std::shared_ptr<const MissTrace>
 TraceCache::missHitLocked(const std::string &key)
 {
-    if (auto trace = missTraces_[key].lock()) {
+    auto it = missTraces_.find(key);
+    if (it == missTraces_.end())
+        return nullptr;
+    if (auto trace = it->second.lock()) {
         ++counters_.missTraceHits;
         return trace;
     }
     return nullptr;
+}
+
+std::size_t
+TraceCache::purgeExpiredLocked()
+{
+    std::size_t purged = eraseExpired(refTraces_);
+    purged += eraseExpired(missTraces_);
+    counters_.expiredPurged += purged;
+    // The bound the purge exists to maintain: a sweep leaves only
+    // live entries behind, so map size can never exceed the live
+    // working set plus whatever expired since the last sweep — and a
+    // sweep runs on every insert and stats() snapshot.
+    SBSIM_AUDIT_BLOCK(
+        for (const auto &entry : refTraces_)
+            SBSIM_AUDIT(!entry.second.expired(),
+                        "expired ref-trace entry survived the purge: ",
+                        entry.first);
+        for (const auto &entry : missTraces_)
+            SBSIM_AUDIT(!entry.second.expired(),
+                        "expired miss-trace entry survived the purge: ",
+                        entry.first););
+    return purged;
+}
+
+std::size_t
+TraceCache::purgeExpired()
+{
+    MutexLock lock(mutex_);
+    return purgeExpiredLocked();
 }
 
 std::shared_ptr<const MaterializedTrace>
@@ -62,6 +122,9 @@ TraceCache::getOrMaterialize(
         // content — production is deterministic per key).
         return winner;
     }
+    // Inserts are the only operation that grows the maps, so they are
+    // the natural amortisation point for the expired-entry sweep.
+    purgeExpiredLocked();
     refTraces_[key] = produced;
     ++counters_.refTracesMaterialized;
     return produced;
@@ -98,6 +161,7 @@ TraceCache::getOrRecord(const std::string &key,
     MutexLock lock(mutex_);
     if (auto winner = missHitLocked(key))
         return winner;
+    purgeExpiredLocked();
     missTraces_[key] = produced;
     ++counters_.missTracesRecorded;
     return produced;
@@ -111,9 +175,10 @@ TraceCache::noteReplay()
 }
 
 TraceCacheStats
-TraceCache::stats() const
+TraceCache::stats()
 {
     MutexLock lock(mutex_);
+    purgeExpiredLocked();
     TraceCacheStats s = counters_;
     s.residentBytes = 0;
     for (const auto &entry : refTraces_) {
@@ -124,6 +189,8 @@ TraceCache::stats() const
         if (auto trace = entry.second.lock())
             s.residentBytes += trace->bytes();
     }
+    s.refTraceEntries = refTraces_.size();
+    s.missTraceEntries = missTraces_.size();
     return s;
 }
 
@@ -134,6 +201,25 @@ TraceCache::clear()
     refTraces_.clear();
     missTraces_.clear();
     counters_ = TraceCacheStats{};
+}
+
+void
+printTraceCacheReport(const TraceCacheStats &stats, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "sweep: trace cache: ref %llu hit / %llu built, miss "
+        "%llu hit / %llu recorded, %llu replays, %llu bytes "
+        "resident, %llu expired purged (%llu+%llu keys live)\n",
+        static_cast<unsigned long long>(stats.refTraceHits),
+        static_cast<unsigned long long>(stats.refTracesMaterialized),
+        static_cast<unsigned long long>(stats.missTraceHits),
+        static_cast<unsigned long long>(stats.missTracesRecorded),
+        static_cast<unsigned long long>(stats.replays),
+        static_cast<unsigned long long>(stats.residentBytes),
+        static_cast<unsigned long long>(stats.expiredPurged),
+        static_cast<unsigned long long>(stats.refTraceEntries),
+        static_cast<unsigned long long>(stats.missTraceEntries));
 }
 
 } // namespace sbsim

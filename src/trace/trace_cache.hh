@@ -17,6 +17,15 @@
  * insert wins, and the loser adopts the winner's copy (results are
  * identical either way because production is deterministic per key).
  *
+ * Expired entries are *erased*, not just left dead: every insert and
+ * every stats() snapshot sweeps both key maps and drops entries whose
+ * weak_ptr no longer locks (counted in TraceCacheStats::expiredPurged).
+ * Without that sweep the key maps of a long-running process — the
+ * sweep service holds one instance across every request it ever
+ * serves — grow without bound, one dead string key per retired
+ * working set. The checked build audits the invariant that a sweep
+ * leaves no expired entry behind.
+ *
  * The cache only ever affects *how fast* results are produced, never
  * what they are — the differential tests in tests/test_sweep_runner.cc
  * and tests/test_miss_trace.cc pin cached == naive bit-identically.
@@ -30,6 +39,7 @@
 #define STREAMSIM_TRACE_TRACE_CACHE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,7 +64,22 @@ struct TraceCacheStats
     std::uint64_t replays = 0;
     /** Bytes of live (strongly referenced) cached traces right now. */
     std::uint64_t residentBytes = 0;
+    /** Expired weak entries erased from the key maps (lifetime). */
+    std::uint64_t expiredPurged = 0;
+    /** Keys currently in the reference-trace map (all live: this
+     *  snapshot is taken right after a purge sweep). */
+    std::uint64_t refTraceEntries = 0;
+    /** Keys currently in the miss-trace map (all live; see above). */
+    std::uint64_t missTraceEntries = 0;
 };
+
+/**
+ * Write the one-line cache-effectiveness report to @p out (the sweep
+ * runner prints it after a cache-enabled sweep; the service daemon
+ * flushes it on drain). stderr-style plain text, never JSON.
+ */
+void printTraceCacheReport(const TraceCacheStats &stats,
+                           std::FILE *out);
 
 /**
  * The process-wide trace registry (see file comment).
@@ -109,8 +134,22 @@ class TraceCache
     /** Count one job served by miss-stream replay. */
     void noteReplay() SBSIM_EXCLUDES(mutex_);
 
-    /** Snapshot the counters plus current resident bytes. */
-    TraceCacheStats stats() const SBSIM_EXCLUDES(mutex_);
+    /**
+     * Erase every expired entry from both key maps. Runs
+     * opportunistically on every insert and stats() call, so callers
+     * never need to invoke it for correctness; it is public for tests
+     * and for long-running hosts that want a deterministic sweep
+     * point. @return entries erased by this call.
+     */
+    std::size_t purgeExpired() SBSIM_EXCLUDES(mutex_);
+
+    /**
+     * Snapshot the counters plus current resident bytes and map
+     * sizes. Sweeps expired entries first, so the reported entry
+     * counts cover live traces only — which is what makes the counts
+     * a bound on the maps' memory, not just their census.
+     */
+    TraceCacheStats stats() SBSIM_EXCLUDES(mutex_);
 
     /** Drop all entries and zero the counters (tests). */
     void clear() SBSIM_EXCLUDES(mutex_);
@@ -118,11 +157,17 @@ class TraceCache
   private:
     TraceCache() = default;
 
-    /** Live entry for @p key, counting a hit; caller holds the lock. */
+    /** Live entry for @p key, counting a hit; caller holds the lock.
+     *  Pure lookup: never inserts a slot for an absent key (the old
+     *  operator[] probe left one empty weak_ptr per miss behind). */
     std::shared_ptr<const MaterializedTrace>
     refHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
     std::shared_ptr<const MissTrace>
     missHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
+
+    /** The sweep behind purgeExpired(); caller holds the lock. Under
+     *  STREAMSIM_CHECKED, audits that no expired entry survives. */
+    std::size_t purgeExpiredLocked() SBSIM_REQUIRES(mutex_);
 
     mutable Mutex mutex_;
     std::map<std::string, std::weak_ptr<const MaterializedTrace>>

@@ -27,6 +27,7 @@
 #ifndef STREAMSIM_UTIL_MUTEX_HH
 #define STREAMSIM_UTIL_MUTEX_HH
 
+#include <condition_variable>
 #include <mutex>
 
 #include "util/thread_annotations.hh"
@@ -46,7 +47,47 @@ class SBSIM_CAPABILITY("mutex") Mutex
     bool tryLock() SBSIM_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
 
   private:
+    friend class CondVar;
     std::mutex mutex_;
+};
+
+/**
+ * Condition variable over the annotated Mutex. std::condition_variable
+ * only accepts std::unique_lock<std::mutex>, so wait() adopts the
+ * already-held native mutex for the duration of the wait and releases
+ * the unique_lock before returning — the capability state the
+ * analysis tracks ("caller holds m before and after wait()") matches
+ * the runtime state exactly, while the unlock/relock inside the wait
+ * happens on the raw std::mutex where the analysis cannot see (and
+ * need not: REQUIRES(m) is the whole contract).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p m, wait, and reacquire before return. */
+    void
+    wait(Mutex &m) SBSIM_REQUIRES(m)
+    {
+        std::unique_lock<std::mutex> native(m.mutex_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    // No predicate overload on purpose: a lambda body is analysed as
+    // its own function, where the analysis cannot see that m is held,
+    // so guarded reads inside the predicate would warn. Write the
+    // `while (!cond) cv.wait(m);` loop at the call site instead —
+    // there the REQUIRES context covers the condition.
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
 };
 
 /** Scoped lock over Mutex; the annotated std::lock_guard. */

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The strict JSON parser behind the sweep service's request
+ * protocol: RFC 8259 acceptance, plus the severities the service
+ * depends on — exact integers, duplicate-key rejection, trailing
+ * garbage rejection, depth caps, and byte-offset error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "service/json.hh"
+
+using namespace sbsim::service;
+
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonParseResult r = parseJson(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.error;
+    return r.value;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    JsonParseResult r = parseJson(text);
+    EXPECT_FALSE(r.ok()) << text << " unexpectedly parsed";
+    return r.error;
+}
+
+} // namespace
+
+TEST(ServiceJson, Scalars)
+{
+    EXPECT_EQ(parseOk("null").kind(), JsonValue::Kind::NUL);
+    EXPECT_TRUE(parseOk("true").boolValue());
+    EXPECT_FALSE(parseOk("false").boolValue());
+
+    JsonValue v = parseOk("42");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::UINT);
+    EXPECT_EQ(v.uintValue(), 42u);
+
+    v = parseOk("-7");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::INT);
+    EXPECT_EQ(v.intValue(), -7);
+
+    v = parseOk("2.5");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::REAL);
+    EXPECT_DOUBLE_EQ(v.realValue(), 2.5);
+
+    v = parseOk("1e3");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::REAL);
+    EXPECT_DOUBLE_EQ(v.realValue(), 1000.0);
+
+    v = parseOk("\"hi\"");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::STRING);
+    EXPECT_EQ(v.stringValue(), "hi");
+}
+
+TEST(ServiceJson, IntegersKeepExactIdentity)
+{
+    // uint64 max parses exactly; one more is an error, not a double.
+    JsonValue v = parseOk("18446744073709551615");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::UINT);
+    EXPECT_EQ(v.uintValue(), 18446744073709551615ull);
+    parseErr("18446744073709551616");
+
+    v = parseOk("-9223372036854775808");
+    EXPECT_EQ(v.kind(), JsonValue::Kind::INT);
+    EXPECT_EQ(v.intValue(),
+              std::numeric_limits<std::int64_t>::min());
+    parseErr("-9223372036854775809");
+}
+
+TEST(ServiceJson, Containers)
+{
+    JsonValue v = parseOk("[1, \"two\", [3], {\"four\": 4}]");
+    ASSERT_EQ(v.kind(), JsonValue::Kind::ARRAY);
+    ASSERT_EQ(v.array().size(), 4u);
+    EXPECT_EQ(v.array()[0].uintValue(), 1u);
+    EXPECT_EQ(v.array()[1].stringValue(), "two");
+    EXPECT_EQ(v.array()[2].array()[0].uintValue(), 3u);
+    EXPECT_EQ(v.array()[3].find("four")->uintValue(), 4u);
+
+    v = parseOk("{\"a\": 1, \"b\": {\"c\": [true]}}");
+    ASSERT_EQ(v.kind(), JsonValue::Kind::OBJECT);
+    EXPECT_EQ(v.find("a")->uintValue(), 1u);
+    EXPECT_TRUE(v.find("b")->find("c")->array()[0].boolValue());
+    EXPECT_EQ(v.find("missing"), nullptr);
+
+    EXPECT_TRUE(parseOk("{}").members().empty());
+    EXPECT_TRUE(parseOk("[]").array().empty());
+    EXPECT_TRUE(parseOk("  [ ]  ").array().empty());
+}
+
+TEST(ServiceJson, MemberOrderIsPreserved)
+{
+    JsonValue v = parseOk("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(ServiceJson, StringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\/d\n\t")").stringValue(),
+              "a\"b\\c/d\n\t");
+    EXPECT_EQ(parseOk(R"("Aé")").stringValue(),
+              "A\xc3\xa9");
+    // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+    EXPECT_EQ(parseOk(R"("😀")").stringValue(),
+              "\xf0\x9f\x98\x80");
+
+    parseErr(R"("\x41")");        // unknown escape
+    parseErr(R"("\ud83d")");      // lone high surrogate
+    parseErr(R"("\ude00")");      // stray low surrogate
+    parseErr(R"("\ud83dA")"); // bad low half
+    parseErr("\"raw\ncontrol\""); // unescaped control char
+    parseErr("\"unterminated");
+}
+
+TEST(ServiceJson, StrictnessRejections)
+{
+    parseErr("");
+    parseErr("   ");
+    parseErr("{\"a\": 1} trailing");
+    parseErr("{\"a\": 1}{\"b\": 2}");
+    parseErr("{\"dup\": 1, \"dup\": 2}");
+    parseErr("{'single': 1}");
+    parseErr("{\"a\": 01}");  // leading zero
+    parseErr("{\"a\": .5}");  // bare fraction
+    parseErr("{\"a\": 1.}");  // digitless fraction
+    parseErr("{\"a\": 1e}");  // digitless exponent
+    parseErr("{\"a\": +1}");  // explicit plus
+    parseErr("{\"a\": NaN}");
+    parseErr("[1, 2,]");
+    parseErr("[1 2]");
+    parseErr("{\"a\" 1}");
+    parseErr("{\"a\": }");
+    parseErr("nulll");
+}
+
+TEST(ServiceJson, DepthCapStopsHostileNesting)
+{
+    std::string deep_ok(kJsonMaxDepth, '[');
+    deep_ok += std::string(kJsonMaxDepth, ']');
+    EXPECT_TRUE(parseJson(deep_ok).ok());
+
+    std::string deep_bad(kJsonMaxDepth + 1, '[');
+    deep_bad += std::string(kJsonMaxDepth + 1, ']');
+    JsonParseResult r = parseJson(deep_bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("deep"), std::string::npos);
+}
+
+TEST(ServiceJson, ErrorOffsetsPointAtTheGarbage)
+{
+    JsonParseResult r = parseJson("{\"a\": tru}");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.errorOffset, 6u);
+
+    r = parseJson("[1, 2] junk");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.errorOffset, 7u);
+}

@@ -172,6 +172,87 @@ TEST(TraceCacheStress, EvictionAndRematerializationUnderThreads)
     cache.clear();
 }
 
+TEST(TraceCacheStress, GenerationsOfDropAndRematerializeStayBounded)
+{
+    // The long-running-service lifecycle: working sets are built,
+    // used, and fully released, over and over. The key maps must
+    // stay bounded by the *live* set — before purgeExpired existed,
+    // every retired generation left kKeys dead strings per map
+    // behind, which is exactly the unbounded growth a daemon cannot
+    // afford.
+    TraceCache &cache = TraceCache::instance();
+    cache.clear();
+
+    constexpr int kGenerations = 4;
+    for (int gen = 1; gen <= kGenerations; ++gen) {
+        std::vector<
+            std::vector<std::shared_ptr<const MaterializedTrace>>>
+            refs(kThreads);
+        std::vector<std::vector<std::shared_ptr<const MissTrace>>>
+            misses(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            refs[t].resize(kKeys);
+            misses[t].resize(kKeys);
+            threads.emplace_back([&, t] {
+                for (std::size_t i = 0; i < kKeys; ++i) {
+                    std::size_t k =
+                        (i + static_cast<std::size_t>(t)) % kKeys;
+                    refs[t][k] =
+                        cache.getOrMaterialize(refKey(k), [&, k] {
+                            return std::make_unique<VectorSource>(
+                                patternRefs(refLen(k)));
+                        });
+                    misses[t][k] = cache.getOrRecord(
+                        "gen-miss-" + std::to_string(k), [k] {
+                            MissTrace trace;
+                            trace.append(MissRecord::Kind::DEMAND,
+                                         makeLoad(0x1000 + 64 * k), 3,
+                                         0, 0);
+                            return trace;
+                        });
+                }
+            });
+        }
+        for (std::thread &th : threads)
+            th.join();
+
+        // Within a generation, first-writer-wins means one shared
+        // copy per key across every thread.
+        for (std::size_t k = 0; k < kKeys; ++k) {
+            for (int t = 1; t < kThreads; ++t) {
+                EXPECT_EQ(refs[t][k].get(), refs[0][k].get())
+                    << "gen " << gen << " ref key " << k;
+                EXPECT_EQ(misses[t][k].get(), misses[0][k].get())
+                    << "gen " << gen << " miss key " << k;
+            }
+        }
+
+        // While the working set is live, the maps hold exactly it.
+        TraceCacheStats live = cache.stats();
+        EXPECT_EQ(live.refTraceEntries, kKeys) << "gen " << gen;
+        EXPECT_EQ(live.missTraceEntries, kKeys) << "gen " << gen;
+        EXPECT_GT(live.residentBytes, 0u) << "gen " << gen;
+
+        // Retire the generation: every strong reference drops, and
+        // the next stats() purge must erase every key — the maps
+        // are bounded by the live set, not by history.
+        refs.clear();
+        misses.clear();
+        TraceCacheStats dead = cache.stats();
+        EXPECT_EQ(dead.refTraceEntries, 0u) << "gen " << gen;
+        EXPECT_EQ(dead.missTraceEntries, 0u) << "gen " << gen;
+        EXPECT_EQ(dead.residentBytes, 0u) << "gen " << gen;
+        EXPECT_EQ(dead.expiredPurged,
+                  static_cast<std::uint64_t>(gen) * 2 * kKeys)
+            << "gen " << gen;
+        EXPECT_EQ(dead.refTracesMaterialized,
+                  static_cast<std::uint64_t>(gen) * kKeys);
+    }
+
+    cache.clear();
+}
+
 TEST(TraceCacheStress, ParallelMissTraceRecordingIsSingleWriter)
 {
     TraceCache &cache = TraceCache::instance();

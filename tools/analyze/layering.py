@@ -18,6 +18,7 @@ Allowed includes per module (a module may always include itself):
   workloads -> trace, mem, util
   baseline  -> cache, trace, mem, util
   sim       -> cache, stream, baseline, workloads, trace, mem, util
+  service   -> sim, workloads, trace, mem, util
 
 Rules:
 
@@ -48,6 +49,7 @@ ALLOWED_DEPS = {
     "baseline": {"cache", "trace", "mem", "util"},
     "sim": {"cache", "stream", "baseline", "workloads", "trace", "mem",
             "util"},
+    "service": {"sim", "workloads", "trace", "mem", "util"},
 }
 
 

@@ -1,15 +1,14 @@
 #include "cli_commands.hh"
 
-#include <cmath>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
+#include "service/run_spec.hh"
 #include "sim/analytic_l2.hh"
 #include "sim/memory_system.hh"
 #include "sim/sweep_runner.hh"
-#include "trace/reuse_profile.hh"
 #include "trace/file_trace.hh"
-#include "trace/time_sampler.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -61,45 +60,14 @@ writeRunCsv(const MetricsRegistry &reg, std::ostream &os)
 }
 
 /**
- * Build the self-owned source chain the options describe. Also used
- * as the per-job source factory by the sweep command, where each
- * worker thread needs a private chain.
+ * Build the self-owned source chain the options describe (through
+ * the shared execution core, so the CLI and the sweep service
+ * construct byte-identical inputs from equivalent requests).
  */
-/**
- * Resolve the L2 evaluation backend: the --l2-model flag wins, else
- * SBSIM_L2_MODEL, else simulated. An env-only analytic/both request
- * without a secondary cache has nothing to predict, so it warns and
- * falls back to simulated (the explicit flag is rejected by
- * parseArgs instead).
- */
-L2ModelKind
-effectiveL2Model(const Options &o)
-{
-    L2ModelKind kind = o.l2Model ? *o.l2Model : l2ModelFromEnv();
-    if (kind != L2ModelKind::SIMULATED && o.l2KiloBytes == 0) {
-        SBSIM_WARN("SBSIM_L2_MODEL=", toString(kind),
-                   " ignored: no secondary cache configured (--l2)");
-        return L2ModelKind::SIMULATED;
-    }
-    return kind;
-}
-
 std::unique_ptr<TraceSource>
 makeInput(const Options &o)
 {
-    auto chain = std::make_unique<OwningSourceChain>();
-    TraceSource *base = nullptr;
-    if (!o.benchmark.empty()) {
-        base = &chain->add(
-            findBenchmark(o.benchmark).makeWorkload(o.scale));
-    } else {
-        base = &chain->add(std::make_unique<TraceReader>(o.traceFile));
-    }
-    if (o.timeSample)
-        base = &chain->add(
-            std::make_unique<TimeSampler>(*base, 10000, 90000));
-    chain->add(std::make_unique<TruncatingSource>(*base, o.refs));
-    return chain;
+    return service::makeSpecInput(toRunSpec(o));
 }
 
 int
@@ -119,56 +87,38 @@ listCommand(std::ostream &out)
 int
 runCommandImpl(const Options &o, std::ostream &out)
 {
-    std::unique_ptr<TraceSource> input = makeInput(o);
-    const MemorySystemConfig config = toSystemConfig(o);
-    const L2ModelKind l2_model = effectiveL2Model(o);
-    MemorySystem system(config);
+    const service::RunSpec spec = toRunSpec(o);
+    const L2ModelKind l2_model = service::effectiveL2Model(spec);
     EventTrace events;
-    if (!o.eventsOut.empty())
-        system.attachEventTrace(&events);
-    // The recorder taps the post-L1 demand stream alongside the full
-    // simulation (it is orthogonal to the configured secondary
-    // level), so one run yields both the simulated L2 and the input
-    // of the analytic model.
-    MissTrace miss_trace;
-    if (l2_model != L2ModelKind::SIMULATED)
-        system.attachMissRecorder(&miss_trace);
-    std::uint64_t refs = system.run(*input);
-    if (l2_model != L2ModelKind::SIMULATED)
-        system.finalizeMissRecorder();
-    RunOutput run_output = collectOutput(system);
-    const SystemResults &r = run_output.results;
 
-    if (l2_model != L2ModelKind::SIMULATED) {
-        // One exact conflict class for the configured L2 geometry;
-        // with it registered the distance histogram is never
-        // consulted, so skip its maintenance.
-        const bool covered =
-            config.l2.numSets() > 1 && config.l2.assoc <= 16;
-        ReuseProfiler profile(config.l2.blockSize,
-                              /*track_distances=*/!covered);
-        if (covered)
-            profile.trackGeometry(
-                static_cast<std::uint32_t>(config.l2.numSets()),
-                config.l2.assoc);
-        profileMissTraceInto(profile, miss_trace);
-        AnalyticL2Model model(profile);
-        L2AnalyticReport &rep = run_output.l2Analytic;
-        rep.model = toString(l2_model);
-        rep.predictedMissRatioPct =
-            model.predictMissRatioPercent(config.l2);
-        rep.predictedHitRatePct =
-            model.predictLocalHitRatePercent(config.l2);
-        rep.profiledMisses = profile.references();
-        rep.uniqueBlocks = profile.uniqueBlocks();
-        if (l2_model == L2ModelKind::BOTH && config.useL2 &&
-            profile.references() > 0) {
-            rep.simulatedMissRatioPct =
-                100.0 - r.l2LocalHitRatePercent;
-            rep.absErrorPct = std::abs(rep.predictedMissRatioPct -
-                                       rep.simulatedMissRatioPct);
+    // --stats wants the live component statistics, which only exist
+    // while the MemorySystem does; the inspect hook prints them
+    // before the core tears the system down.
+    std::ostringstream full_stats;
+    auto inspect = [&](MemorySystem &system) {
+        if (!o.fullStats)
+            return;
+        system.l1().icache().stats().print(full_stats);
+        system.l1().dcache().stats().print(full_stats);
+        if (const PrefetchEngine *engine = system.engine()) {
+            engine->stats().print(full_stats);
+            const BucketedDistribution &dist =
+                engine->lengthDistribution();
+            for (std::size_t i = 0; i < dist.size(); ++i) {
+                full_stats << "streams.length_" << dist.bucketLabel(i)
+                           << "  " << fmt(dist.sharePercent(i), 1)
+                           << " %\n";
+            }
         }
-    }
+        system.memory().stats().print(full_stats);
+    };
+
+    service::RunExecution exec = service::executeRun(
+        spec, o.eventsOut.empty() ? nullptr : &events,
+        /*use_trace_cache=*/false, inspect);
+    const RunOutput &run_output = exec.output;
+    const SystemResults &r = run_output.results;
+    const std::uint64_t refs = exec.references;
 
     TablePrinter table({"metric", "value"});
     table.addRow({"references", fmt(refs)});
@@ -198,21 +148,8 @@ runCommandImpl(const Options &o, std::ostream &out)
     table.addRow({"avg_access_cycles", fmt(r.avgAccessCycles, 2)});
     printTable(table, o, out);
 
-    if (o.fullStats) {
-        out << '\n';
-        system.l1().icache().stats().print(out);
-        system.l1().dcache().stats().print(out);
-        if (const PrefetchEngine *engine = system.engine()) {
-            engine->stats().print(out);
-            const BucketedDistribution &dist =
-                engine->lengthDistribution();
-            for (std::size_t i = 0; i < dist.size(); ++i) {
-                out << "streams.length_" << dist.bucketLabel(i) << "  "
-                    << fmt(dist.sharePercent(i), 1) << " %\n";
-            }
-        }
-        system.memory().stats().print(out);
-    }
+    if (o.fullStats)
+        out << '\n' << full_stats.str();
 
     if (!o.jsonOut.empty()) {
         std::ofstream js = openExport(o.jsonOut);
@@ -247,32 +184,13 @@ sweepCommand(const Options &o, std::ostream &out)
     std::vector<EventTrace> event_traces(
         o.eventsOut.empty() ? 0 : o.sweepValues.size());
 
-    // Every sweep point reads the same input stream (only the stream
-    // count varies), so one source key covers the whole grid and the
+    // The grid comes from the shared execution core: every sweep
+    // point reads the same input stream (only the stream count
+    // varies), so one source key covers the whole grid and the
     // runner materialises/records it once.
-    const std::string source_key =
-        "cli|" +
-        (!o.benchmark.empty() ? "bench:" + o.benchmark
-                              : "file:" + o.traceFile) +
-        '|' + std::to_string(static_cast<int>(o.scale)) + '|' +
-        std::to_string(o.refs) + '|' + (o.timeSample ? "ts" : "full");
-
-    const L2ModelKind l2_model = effectiveL2Model(o);
-    std::vector<SweepJob> jobs;
-    jobs.reserve(o.sweepValues.size());
-    for (std::size_t i = 0; i < o.sweepValues.size(); ++i) {
-        Options point = o;
-        point.streams = o.sweepValues[i];
-        SweepJob job;
-        job.label = std::to_string(o.sweepValues[i]);
-        job.config = toSystemConfig(point);
-        job.sourceKey = source_key;
-        job.l2Model = l2_model;
-        job.makeSource = [point] { return makeInput(point); };
-        if (!event_traces.empty())
-            job.eventTrace = &event_traces[i];
-        jobs.push_back(std::move(job));
-    }
+    std::vector<SweepJob> jobs = service::buildSweepJobs(
+        toRunSpec(o), o.sweepValues,
+        event_traces.empty() ? nullptr : &event_traces);
 
     SweepRunner runner(o.jobs);
     if (o.progress)

@@ -323,36 +323,35 @@ parseArgs(const std::vector<std::string> &args)
     return result;
 }
 
+service::RunSpec
+toRunSpec(const Options &o)
+{
+    service::RunSpec spec;
+    spec.benchmark = o.benchmark;
+    spec.traceFile = o.traceFile;
+    spec.scale = o.scale;
+    spec.refs = o.refs;
+    spec.timeSample = o.timeSample;
+    spec.streams = o.streams;
+    spec.depth = o.depth;
+    spec.unitFilter = o.unitFilter;
+    spec.czoneBits = o.czoneBits;
+    spec.minDelta = o.minDelta;
+    spec.partitioned = o.partitioned;
+    spec.victimEntries = o.victimEntries;
+    spec.noStreams = o.noStreams;
+    spec.shuffledPages = o.shuffledPages;
+    spec.pageBits = o.pageBits;
+    spec.l2KiloBytes = o.l2KiloBytes;
+    spec.busCycles = o.busCycles;
+    spec.l2Model = o.l2Model;
+    return spec;
+}
+
 MemorySystemConfig
 toSystemConfig(const Options &o)
 {
-    AllocationPolicy policy = o.unitFilter
-                                  ? AllocationPolicy::UNIT_FILTER
-                                  : AllocationPolicy::ALWAYS;
-    StrideDetection stride = StrideDetection::NONE;
-    unsigned czone_bits = 18;
-    if (o.czoneBits) {
-        stride = StrideDetection::CZONE;
-        czone_bits = *o.czoneBits;
-    } else if (o.minDelta) {
-        stride = StrideDetection::MIN_DELTA;
-    }
-
-    MemorySystemConfig config =
-        paperSystemConfig(o.streams, policy, stride, czone_bits);
-    config.useStreams = !o.noStreams;
-    config.streams.depth = o.depth;
-    config.streams.partitioned = o.partitioned;
-    config.victimBufferEntries = o.victimEntries;
-    if (o.shuffledPages)
-        config.translation = TranslationMode::SHUFFLED;
-    config.pageBits = o.pageBits;
-    if (o.l2KiloBytes > 0) {
-        config.useL2 = true;
-        config.l2.sizeBytes = std::uint64_t{o.l2KiloBytes} * 1024;
-    }
-    config.busCyclesPerBlock = o.busCycles;
-    return config;
+    return service::specSystemConfig(toRunSpec(o));
 }
 
 std::string

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "service/run_spec.hh"
 #include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
 #include "workloads/benchmark.hh"
@@ -91,7 +92,15 @@ struct ParseResult
 /** Parse argv (excluding argv[0]). */
 ParseResult parseArgs(const std::vector<std::string> &args);
 
-/** Build the MemorySystemConfig an Options describes. */
+/**
+ * Project the run-describing subset of an Options onto the shared
+ * execution core's RunSpec (service/run_spec.hh). Presentation
+ * options (tables, export paths, sweep grid) stay behind.
+ */
+service::RunSpec toRunSpec(const Options &options);
+
+/** Build the MemorySystemConfig an Options describes (the spec
+ *  projection run through specSystemConfig). */
 MemorySystemConfig toSystemConfig(const Options &options);
 
 /** The usage text. */

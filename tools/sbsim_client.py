@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Client for the sbsim-serve sweep service.
+
+Speaks the newline-delimited JSON protocol over the daemon's Unix
+socket (see docs/INTERNALS.md, "Sweep service"). Usable as a library
+(ServiceClient) or as a CLI:
+
+    sbsim_client.py --socket /tmp/sbsim.sock ping
+    sbsim_client.py --socket /tmp/sbsim.sock run \
+        --spec '{"benchmark": "embar", "refs": 100000}' --out run.json
+    sbsim_client.py --socket /tmp/sbsim.sock sweep \
+        --spec '{"benchmark": "embar", "refs": 100000}' \
+        --values 1,2,4 --out sweep.json
+    sbsim_client.py --socket /tmp/sbsim.sock stats
+    sbsim_client.py --socket /tmp/sbsim.sock shutdown
+
+For run/sweep, --out writes the embedded metrics document (the exact
+bytes the CLI's --json-out would produce) to a file; without --out the
+raw response line goes to stdout.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+class ServiceError(RuntimeError):
+    """An ok:false response from the daemon."""
+
+    def __init__(self, response):
+        super().__init__(response.get("error", "unknown error"))
+        self.response = response
+
+
+class ServiceClient:
+    """One connection to an sbsim-serve daemon."""
+
+    def __init__(self, socket_path, timeout=600.0):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._buf = b""
+        self._next_id = 0
+
+    def close(self):
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def send(self, request):
+        """Send one request object; returns the id it was given."""
+        if "id" not in request:
+            request = dict(request)
+            request["id"] = self._next_id
+            self._next_id += 1
+        self._sock.sendall(
+            json.dumps(request).encode("utf-8") + b"\n")
+        return request["id"]
+
+    def recv(self):
+        """Read one response object (blocking)."""
+        while b"\n" not in self._buf:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "daemon closed the connection mid-response")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def request(self, req, check=True):
+        """Round-trip one request; raises ServiceError on ok:false
+        when check is set."""
+        self.send(req)
+        response = self.recv()
+        if check and not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+
+def result_document(response):
+    """The embedded metrics document (bytes-identical to the CLI's
+    --json-out output) of a run/sweep response."""
+    return response["result"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="client for the sbsim-serve sweep service")
+    parser.add_argument("--socket", required=True,
+                        help="daemon socket path")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("op",
+                        choices=["ping", "run", "sweep", "stats",
+                                 "shutdown"])
+    parser.add_argument("--spec", help="RunSpec JSON object "
+                        "(run/sweep)")
+    parser.add_argument("--values",
+                        help="comma-separated sweep stream counts")
+    parser.add_argument("--out", help="write the embedded metrics "
+                        "document here (run/sweep)")
+    args = parser.parse_args(argv)
+
+    request = {"op": args.op}
+    if args.spec is not None:
+        request["spec"] = json.loads(args.spec)
+    if args.values is not None:
+        request["values"] = [int(v) for v in args.values.split(",")]
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        try:
+            response = client.request(request)
+        except ServiceError as e:
+            print(json.dumps(e.response), file=sys.stderr)
+            return 1
+
+    if args.out and "result" in response:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(result_document(response))
+    else:
+        print(json.dumps(response))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -192,7 +192,8 @@ def self_test(schema):
 def zero_trace_cache():
     return {"ref_trace_hits": 0, "ref_traces_materialized": 0,
             "miss_trace_hits": 0, "miss_traces_recorded": 0,
-            "replays": 0, "resident_bytes": 0}
+            "replays": 0, "resident_bytes": 0, "expired_purged": 0,
+            "ref_trace_entries": 0, "miss_trace_entries": 0}
 
 
 def zero_sections():
