@@ -12,7 +12,10 @@
 #include "sim/experiment.hh"
 #include "sim/l2_study.hh"
 #include "sim/memory_system.hh"
+#include "sim/sampled_run.hh"
 #include "sim/sweep_runner.hh"
+#include "trace/materialized_trace.hh"
+#include "trace/phase_profile.hh"
 #include "stream/prefetch_engine.hh"
 #include "trace/time_sampler.hh"
 #include "trace/trace_cache.hh"
@@ -101,6 +104,34 @@ BM_RunBenchmark(benchmark::State &state)
 BENCHMARK(BM_RunBenchmark)->Unit(benchmark::kMillisecond);
 
 /**
+ * The sampled-fidelity pipeline end to end: materialise the trace,
+ * profile its phases, and simulate only the plan's representative
+ * intervals — against BM_RunBenchmark's exact full-trace run of the
+ * same workload. Items are the references the run *represents* (the
+ * full trace), so items/s ratios read directly as effective speedup.
+ */
+void
+BM_RunBenchmarkSampled(benchmark::State &state)
+{
+    constexpr std::uint64_t kRefs = 200000;
+    const Benchmark &bench = findBenchmark("mgrid");
+    for (auto _ : state) {
+        auto workload = bench.makeWorkload();
+        TruncatingSource limited(*workload, kRefs);
+        auto trace = MaterializedTrace::fromSource(limited);
+        SamplingPlan plan = buildSamplingPlan(*trace);
+        RunOutput out = runSampled(
+            trace, plan,
+            paperSystemConfig(10, AllocationPolicy::UNIT_FILTER,
+                              StrideDetection::CZONE, 18));
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRefs));
+}
+BENCHMARK(BM_RunBenchmarkSampled)->Unit(benchmark::kMillisecond);
+
+/**
  * The workload the trace-reuse layer targets: a sweep family — one
  * benchmark swept across stream counts behind a shared L1 front end.
  * Naive regenerates the workload and re-simulates the L1 per point;
@@ -158,6 +189,69 @@ BM_SweepFamilyCached(benchmark::State &state)
         state.iterations() * kFamilyRefs * std::size(kFamilyStreams)));
 }
 BENCHMARK(BM_SweepFamilyCached)->Unit(benchmark::kMillisecond);
+
+/**
+ * The --fidelity gate pair: the paper's Figure 3 stream-count sweep
+ * (six points over one benchmark) exact versus sampled. Exact runs
+ * every point through the full front end (cache off, single worker);
+ * sampled profiles the trace once and simulates only each point's
+ * representative intervals. tools/bench_throughput.sh derives
+ * fidelity_sampled_speedup from the pair and CHECK-gates it at >= 5x.
+ * Items are the references the sweep represents.
+ */
+constexpr std::uint64_t kFidelityRefs = 1000000;
+
+std::vector<SweepJob>
+fidelitySweepJobs(Fidelity fidelity)
+{
+    std::vector<SweepJob> jobs;
+    for (std::uint32_t s : kFamilyStreams) {
+        SweepJob job = benchmarkJob("mgrid", ScaleLevel::DEFAULT,
+                                    paperSystemConfig(s),
+                                    std::to_string(s), kFidelityRefs);
+        job.fidelity = fidelity;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+void
+BM_SweepFidelityExact(benchmark::State &state)
+{
+    for (auto _ : state) {
+        std::vector<SweepJob> jobs =
+            fidelitySweepJobs(Fidelity::EXACT);
+        SweepRunner runner(1);
+        runner.setTraceCacheEnabled(false);
+        std::vector<SweepResult> results = runner.run(jobs);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kFidelityRefs *
+        std::size(kFamilyStreams)));
+}
+BENCHMARK(BM_SweepFidelityExact)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFidelitySampled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        // Cold cache each iteration: the measurement pays for one
+        // materialise + phase profile and six interval replays,
+        // exactly as a fresh sampled sweep process would.
+        TraceCache::instance().clear();
+        std::vector<SweepJob> jobs =
+            fidelitySweepJobs(Fidelity::SAMPLED);
+        SweepRunner runner(1);
+        runner.setTraceCacheEnabled(false);
+        std::vector<SweepResult> results = runner.run(jobs);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kFidelityRefs *
+        std::size(kFamilyStreams)));
+}
+BENCHMARK(BM_SweepFidelitySampled)->Unit(benchmark::kMillisecond);
 
 /**
  * The analytic L2 engine against the simulated battery it replaces:

@@ -86,6 +86,20 @@ getL2Model(const JsonValue &v, std::optional<L2ModelKind> &out)
     return "";
 }
 
+std::string
+getFidelity(const JsonValue &v, Fidelity &out)
+{
+    std::string s;
+    std::string err = getString(v, s);
+    if (!err.empty())
+        return err;
+    std::optional<Fidelity> fidelity = parseFidelity(s);
+    if (!fidelity)
+        return "must be exact|sampled";
+    out = *fidelity;
+    return "";
+}
+
 /** Apply one "spec" member; unknown keys are an error. */
 std::string
 applySpecField(const std::string &key, const JsonValue &v,
@@ -129,6 +143,8 @@ applySpecField(const std::string &key, const JsonValue &v,
         err = getU32(v, spec.l2KiloBytes);
     } else if (key == "l2_model") {
         err = getL2Model(v, spec.l2Model);
+    } else if (key == "fidelity") {
+        err = getFidelity(v, spec.fidelity);
     } else if (key == "bus") {
         err = getU32(v, spec.busCycles);
     } else {
@@ -295,11 +311,14 @@ statsResponse(const std::string &id_json, const TraceCacheStats &s)
            field("ref_traces_materialized", s.refTracesMaterialized) +
            ',' + field("miss_trace_hits", s.missTraceHits) + ',' +
            field("miss_traces_recorded", s.missTracesRecorded) + ',' +
+           field("phase_plan_hits", s.phasePlanHits) + ',' +
+           field("phase_plans_built", s.phasePlansBuilt) + ',' +
            field("replays", s.replays) + ',' +
            field("resident_bytes", s.residentBytes) + ',' +
            field("expired_purged", s.expiredPurged) + ',' +
            field("ref_trace_entries", s.refTraceEntries) + ',' +
-           field("miss_trace_entries", s.missTraceEntries) + "}}\n";
+           field("miss_trace_entries", s.missTraceEntries) + ',' +
+           field("phase_plan_entries", s.phasePlanEntries) + "}}\n";
 }
 
 } // namespace service

@@ -44,6 +44,10 @@ validateSpec(const RunSpec &spec)
         spec.l2KiloBytes == 0)
         return "l2 model analytic|both needs a secondary cache "
                "(the model predicts that cache)";
+    if (spec.fidelity == Fidelity::SAMPLED && spec.l2Model &&
+        *spec.l2Model != L2ModelKind::SIMULATED)
+        return "fidelity sampled supports only the simulated l2 model "
+               "(the analytic profile needs the full miss stream)";
     return "";
 }
 
@@ -79,8 +83,15 @@ specSystemConfig(const RunSpec &spec)
     return config;
 }
 
-std::unique_ptr<TraceSource>
-makeSpecInput(const RunSpec &spec)
+namespace {
+
+/**
+ * Build the spec's source chain, exposing the TimeSampler link (when
+ * time sampling is on) so callers can read its pass-through counts
+ * after draining the chain.
+ */
+std::unique_ptr<OwningSourceChain>
+buildSpecChain(const RunSpec &spec, TimeSampler **sampler_out)
 {
     auto chain = std::make_unique<OwningSourceChain>();
     TraceSource *base = nullptr;
@@ -91,11 +102,39 @@ makeSpecInput(const RunSpec &spec)
         base =
             &chain->add(std::make_unique<TraceReader>(spec.traceFile));
     }
-    if (spec.timeSample)
-        base = &chain->add(
-            std::make_unique<TimeSampler>(*base, 10000, 90000));
+    if (spec.timeSample) {
+        auto sampler =
+            std::make_unique<TimeSampler>(*base, 10000, 90000);
+        if (sampler_out)
+            *sampler_out = sampler.get();
+        base = &chain->add(std::move(sampler));
+    }
     chain->add(std::make_unique<TruncatingSource>(*base, spec.refs));
     return chain;
+}
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeSpecInput(const RunSpec &spec)
+{
+    return buildSpecChain(spec, nullptr);
+}
+
+std::shared_ptr<const MaterializedTrace>
+materializeSpecInput(const RunSpec &spec)
+{
+    TimeSampler *sampler = nullptr;
+    std::unique_ptr<OwningSourceChain> chain =
+        buildSpecChain(spec, &sampler);
+    std::vector<MemAccess> refs =
+        MaterializedTrace::drainVector(*chain);
+    if (sampler) {
+        return std::make_shared<const MaterializedTrace>(
+            std::move(refs), sampler->sampledCount(),
+            sampler->skippedCount());
+    }
+    return std::make_shared<const MaterializedTrace>(std::move(refs));
 }
 
 std::string
@@ -114,6 +153,15 @@ effectiveL2Model(const RunSpec &spec)
 {
     L2ModelKind kind =
         spec.l2Model ? *spec.l2Model : l2ModelFromEnv();
+    if (kind != L2ModelKind::SIMULATED &&
+        spec.fidelity == Fidelity::SAMPLED) {
+        // An explicit analytic/both request with sampled fidelity is
+        // rejected by validateSpec; this catches the env fallback.
+        SBSIM_WARN("SBSIM_L2_MODEL=", toString(kind),
+                   " ignored: sampled fidelity cannot record the "
+                   "full miss stream the analytic model profiles");
+        return L2ModelKind::SIMULATED;
+    }
     if (kind != L2ModelKind::SIMULATED && spec.l2KiloBytes == 0) {
         SBSIM_WARN("SBSIM_L2_MODEL=", toString(kind),
                    " ignored: no secondary cache configured (--l2)");
@@ -129,6 +177,45 @@ executeRun(const RunSpec &spec, EventTrace *events,
 {
     const MemorySystemConfig config = specSystemConfig(spec);
     const L2ModelKind l2_model = effectiveL2Model(spec);
+
+    if (spec.fidelity == Fidelity::SAMPLED) {
+        // Both front ends reject the incompatible combinations
+        // (events, --stats, analytic L2) before getting here.
+        SBSIM_ASSERT(!events,
+                     "sampled fidelity cannot capture an event trace");
+        SBSIM_ASSERT(l2_model == L2ModelKind::SIMULATED,
+                     "sampled fidelity requires the simulated l2 model");
+        const std::string key = specSourceKey(spec);
+        TraceCache &cache = TraceCache::instance();
+        std::shared_ptr<const MaterializedTrace> trace =
+            use_trace_cache
+                ? cache.getOrMaterializeTrace(
+                      key,
+                      [&spec] { return materializeSpecInput(spec); })
+                : materializeSpecInput(spec);
+        const PhaseProfileConfig profile_config;
+        std::shared_ptr<const SamplingPlan> plan =
+            use_trace_cache
+                ? cache.getOrBuildPlan(
+                      key + '\x1f' + profile_config.key(),
+                      [&trace, &profile_config] {
+                          return buildSamplingPlan(*trace,
+                                                   profile_config);
+                      })
+                : std::make_shared<const SamplingPlan>(
+                      buildSamplingPlan(*trace, profile_config));
+        RunExecution exec;
+        exec.output = runSampled(trace, *plan, config);
+        if (trace->hasSamplerCounts()) {
+            exec.output.sampling.timeSamplerSampled =
+                trace->samplerSampled();
+            exec.output.sampling.timeSamplerSkipped =
+                trace->samplerSkipped();
+        }
+        exec.references = exec.output.results.references;
+        return exec;
+    }
+
     MemorySystem system(config);
     if (events)
         system.attachEventTrace(events);
@@ -141,20 +228,34 @@ executeRun(const RunSpec &spec, EventTrace *events,
         system.attachMissRecorder(&miss_trace);
 
     RunExecution exec;
+    std::uint64_t sampler_sampled = 0;
+    std::uint64_t sampler_skipped = 0;
     if (use_trace_cache && !events) {
+        // Materialise with TimeSampler counts attached, so a cached
+        // replay still reports them.
         std::shared_ptr<const MaterializedTrace> trace =
-            TraceCache::instance().getOrMaterialize(
+            TraceCache::instance().getOrMaterializeTrace(
                 specSourceKey(spec),
-                [&spec] { return makeSpecInput(spec); });
+                [&spec] { return materializeSpecInput(spec); });
+        sampler_sampled = trace->samplerSampled();
+        sampler_skipped = trace->samplerSkipped();
         SharedTraceView view(std::move(trace));
         exec.references = system.run(view);
     } else {
-        std::unique_ptr<TraceSource> input = makeSpecInput(spec);
+        TimeSampler *sampler = nullptr;
+        std::unique_ptr<OwningSourceChain> input =
+            buildSpecChain(spec, &sampler);
         exec.references = system.run(*input);
+        if (sampler) {
+            sampler_sampled = sampler->sampledCount();
+            sampler_skipped = sampler->skippedCount();
+        }
     }
     if (l2_model != L2ModelKind::SIMULATED)
         system.finalizeMissRecorder();
     exec.output = collectOutput(system);
+    exec.output.sampling.timeSamplerSampled = sampler_sampled;
+    exec.output.sampling.timeSamplerSkipped = sampler_skipped;
 
     if (l2_model != L2ModelKind::SIMULATED) {
         // One exact conflict class for the configured L2 geometry;
@@ -208,7 +309,11 @@ buildSweepJobs(const RunSpec &spec,
         job.config = specSystemConfig(point);
         job.sourceKey = source_key;
         job.l2Model = l2_model;
+        job.fidelity = spec.fidelity;
         job.makeSource = [point] { return makeSpecInput(point); };
+        job.materialize = [point] {
+            return materializeSpecInput(point);
+        };
         if (event_traces)
             job.eventTrace = &(*event_traces)[i];
         jobs.push_back(std::move(job));

@@ -27,6 +27,7 @@
 
 #include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
+#include "sim/sampled_run.hh"
 #include "sim/sweep_runner.hh"
 #include "util/event_trace.hh"
 #include "workloads/benchmark.hh"
@@ -60,6 +61,9 @@ struct RunSpec
     std::uint32_t busCycles = 0;   ///< Bus cycles/block (0 = infinite).
     /** L2 evaluation backend; unset defers to SBSIM_L2_MODEL. */
     std::optional<L2ModelKind> l2Model;
+    /** Exact replays every reference; sampled simulates only a phase
+     *  plan's representative intervals (sim/sampled_run.hh). */
+    Fidelity fidelity = Fidelity::EXACT;
 };
 
 /**
@@ -80,6 +84,17 @@ MemorySystemConfig specSystemConfig(const RunSpec &spec);
  * private chain sharing no mutable state.
  */
 std::unique_ptr<TraceSource> makeSpecInput(const RunSpec &spec);
+
+/**
+ * Drain the spec's input chain into an immutable shared trace,
+ * capturing the chain's TimeSampler pass-through counts as trace
+ * metadata when time sampling is on (the sampler is gone by the time
+ * the trace is replayed, so this is the only chance to record them).
+ * The sampled-fidelity path materialises through this so phase
+ * profiling and interval replay see one stable buffer.
+ */
+std::shared_ptr<const MaterializedTrace>
+materializeSpecInput(const RunSpec &spec);
 
 /**
  * Dedup key of the spec's input stream, fed to the trace cache /

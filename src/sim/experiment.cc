@@ -32,7 +32,8 @@ collectOutput(MemorySystem &system)
     RunOutput out;
     out.results = system.finish();
     if (const PrefetchEngine *engine = system.engine()) {
-        out.engineStats = engine->engineStats();
+        // Net of any warmup prefix (raw counters on the exact path).
+        out.engineStats = system.engineStatsSinceWarmup();
         const BucketedDistribution &dist = engine->lengthDistribution();
         out.lengthSharesPercent.reserve(dist.size());
         for (std::size_t i = 0; i < dist.size(); ++i)
@@ -145,6 +146,19 @@ runMetrics(const RunOutput &out)
         .add("demand_fetch", cb.demandFetch)
         .add("bus_queue", cb.busQueue)
         .add("sw_prefetch_issue", cb.swPrefetchIssue);
+
+    const SamplingReport &sp = out.sampling;
+    reg.section("sampling")
+        .add("mode", sp.mode)
+        .add("intervals_total", sp.intervalsTotal)
+        .add("intervals_selected", sp.intervalsSelected)
+        .add("interval_refs", sp.intervalRefs)
+        .add("warmup_refs", sp.warmupRefs)
+        .add("simulated_refs", sp.simulatedRefs)
+        .add("estimated_refs", sp.estimatedRefs)
+        .add("miss_rate_stderr_pct", sp.missRateStderrPct)
+        .add("time_sampler_sampled", sp.timeSamplerSampled)
+        .add("time_sampler_skipped", sp.timeSamplerSkipped);
 
     return reg;
 }

@@ -39,6 +39,36 @@ struct L2AnalyticReport
     std::uint64_t uniqueBlocks = 0;
 };
 
+/**
+ * Sampling provenance of a run, attached when --fidelity=sampled (see
+ * sim/sampled_run.hh). Zero-filled (mode "exact") on the exact path,
+ * so the exported section shape is constant.
+ */
+struct SamplingReport
+{
+    /** "exact" | "sampled" (toString(Fidelity)). */
+    std::string mode = "exact";
+    /** Profiling intervals the trace was divided into. */
+    std::uint64_t intervalsTotal = 0;
+    /** Representative intervals actually simulated. */
+    std::uint64_t intervalsSelected = 0;
+    /** References per profiling interval (plan config). */
+    std::uint64_t intervalRefs = 0;
+    /** Warmup references replayed but not counted. */
+    std::uint64_t warmupRefs = 0;
+    /** Measured references actually simulated. */
+    std::uint64_t simulatedRefs = 0;
+    /** Weighted estimate of the full trace's references. */
+    std::uint64_t estimatedRefs = 0;
+    /** Jackknife (leave-one-cluster-out) standard error of the L1
+     *  miss rate estimate, in points. 0 with fewer than 2 clusters. */
+    double missRateStderrPct = 0;
+    /** TimeSampler pass-through accounting for the run's source
+     *  chain (zero when --sample was off or counts are unknown). */
+    std::uint64_t timeSamplerSampled = 0;
+    std::uint64_t timeSamplerSkipped = 0;
+};
+
 /** Everything a table/figure row needs from one simulation run. */
 struct RunOutput
 {
@@ -51,6 +81,8 @@ struct RunOutput
     double victimHitRatePercent = 0;
     /** Analytic L2 model report (zero-filled unless requested). */
     L2AnalyticReport l2Analytic;
+    /** Sampled-fidelity provenance (zero-filled on the exact path). */
+    SamplingReport sampling;
 };
 
 /**
@@ -103,7 +135,7 @@ RunOutput runOnce(TraceSource &src, const MemorySystemConfig &config,
  * stability the schema in tools/metrics.schema.json pins.
  *
  * Sections, in order: run, l1, streams, stream_lengths, victim, l2,
- * l2_analytic, sw_prefetch, cycles.
+ * l2_analytic, sw_prefetch, cycles, sampling.
  */
 MetricsRegistry runMetrics(const RunOutput &out);
 

@@ -314,8 +314,9 @@ MemorySystem::applyFrontEndDeltas(std::uint64_t d_l1_hit,
 void
 MemorySystem::attachMissRecorder(MissTrace *trace)
 {
-    SBSIM_ASSERT(!finished_ && !replayed_,
-                 "attachMissRecorder on a finished/replayed system");
+    SBSIM_ASSERT(!finished_ && !replayed_ && !warmed_,
+                 "attachMissRecorder on a finished/replayed/warmed "
+                 "system");
     missRecorder_ = trace;
     recBaseL1HitCycles_ = cyclesL1Hit_.value();
     recBaseVictimHitCycles_ = cyclesVictimHit_.value();
@@ -355,11 +356,67 @@ MemorySystem::finalizeMissRecorder()
     missRecorder_ = nullptr;
 }
 
+void
+MemorySystem::endWarmup()
+{
+    SBSIM_ASSERT(!finished_ && !replayed_ && !warmed_,
+                 "endWarmup on a finished/replayed/warmed system");
+    SBSIM_ASSERT(!missRecorder_, "endWarmup while recording");
+    WarmupBase &b = warmupBase_;
+    b.iAccesses = l1_.icache().accesses();
+    b.dAccesses = l1_.dcache().accesses();
+    b.iMisses = l1_.icache().misses();
+    b.dMisses = l1_.dcache().misses();
+    b.writebacks =
+        l1_.icache().writebacks() + l1_.dcache().writebacks();
+    b.swPrefetches = swPrefetches_.value();
+    b.swPrefetchesIssued = swPrefetchesIssued_.value();
+    b.swPrefetchesRedundant = swPrefetchesRedundant_.value();
+    b.victimHits = victimHits_.value();
+    if (l2_) {
+        b.l2Hits = l2_->hits();
+        b.l2Misses = l2_->misses();
+    }
+    b.cycles = cycles_;
+    b.streamHitsReady = streamHitsReady_.value();
+    b.streamHitsPending = streamHitsPending_.value();
+    b.busQueueCycles = busQueueCycles_.value();
+    b.breakdown.l1Hit = cyclesL1Hit_.value();
+    b.breakdown.victimHit = cyclesVictimHit_.value();
+    b.breakdown.streamHit = cyclesStreamHit_.value();
+    b.breakdown.streamStall = cyclesStreamStall_.value();
+    b.breakdown.demandFetch = cyclesDemandFetch_.value();
+    b.breakdown.busQueue = cyclesBusQueue_.value();
+    b.breakdown.swPrefetchIssue = cyclesSwPrefetch_.value();
+    if (engine_)
+        b.engine = engine_->engineStats();
+    warmed_ = true;
+}
+
+StreamEngineStats
+MemorySystem::engineStatsSinceWarmup() const
+{
+    if (!engine_)
+        return {};
+    StreamEngineStats es = engine_->engineStats();
+    if (!warmed_)
+        return es;
+    const StreamEngineStats &b = warmupBase_.engine;
+    es.lookups -= b.lookups;
+    es.hits -= b.hits;
+    es.streamMisses -= b.streamMisses;
+    es.allocations -= b.allocations;
+    es.prefetchesIssued -= b.prefetchesIssued;
+    es.uselessFlushed -= b.uselessFlushed;
+    es.uselessInvalidated -= b.uselessInvalidated;
+    return es;
+}
+
 std::uint64_t
 MemorySystem::replayMissTrace(const MissTrace &trace)
 {
-    SBSIM_ASSERT(!finished_ && !replayed_,
-                 "replayMissTrace on a finished/replayed system");
+    SBSIM_ASSERT(!finished_ && !replayed_ && !warmed_,
+                 "replayMissTrace on a finished/replayed/warmed system");
     SBSIM_ASSERT(!missRecorder_,
                  "replayMissTrace while recording");
     trace.forEach([this](const MissRecord &rec) {
@@ -424,54 +481,75 @@ MemorySystem::finish()
         r.missesPerInstructionPercent =
             replaySummary_.missesPerInstructionPercent;
     } else {
-        r.instructionRefs = l1_.icache().accesses();
-        r.dataRefs = l1_.dcache().accesses();
-        r.swPrefetches = swPrefetches_.value();
-        r.swPrefetchesIssued = swPrefetchesIssued_.value();
-        r.swPrefetchesRedundant = swPrefetchesRedundant_.value();
-        r.l1Misses = l1_.misses();
-        r.l1DataMisses = l1_.dcache().misses();
-        r.victimHits = victimHits_.value();
-        r.writebacks =
-            l1_.icache().writebacks() + l1_.dcache().writebacks();
-        r.l1MissRatePercent = l1_.missRatePercent();
-        r.l1DataMissRatePercent = l1_.dcache().missRatePercent();
+        // Subtract the endWarmup() snapshot; warmupBase_ is
+        // zero-filled when endWarmup() was never called, so the exact
+        // path computes bitwise-identical values to before (the
+        // derived percentages call percent() with the same operands
+        // SplitCache/Cache would).
+        const WarmupBase &b = warmupBase_;
+        r.instructionRefs = l1_.icache().accesses() - b.iAccesses;
+        r.dataRefs = l1_.dcache().accesses() - b.dAccesses;
+        r.swPrefetches = swPrefetches_.value() - b.swPrefetches;
+        r.swPrefetchesIssued =
+            swPrefetchesIssued_.value() - b.swPrefetchesIssued;
+        r.swPrefetchesRedundant =
+            swPrefetchesRedundant_.value() - b.swPrefetchesRedundant;
+        r.l1Misses = l1_.misses() - (b.iMisses + b.dMisses);
+        r.l1DataMisses = l1_.dcache().misses() - b.dMisses;
+        r.victimHits = victimHits_.value() - b.victimHits;
+        r.writebacks = l1_.icache().writebacks() +
+                       l1_.dcache().writebacks() - b.writebacks;
+        r.l1MissRatePercent =
+            percent(r.l1Misses, r.instructionRefs + r.dataRefs);
+        r.l1DataMissRatePercent = percent(r.l1DataMisses, r.dataRefs);
         r.missesPerInstructionPercent =
             percent(r.l1DataMisses, r.instructionRefs);
     }
     r.references = r.instructionRefs + r.dataRefs + r.swPrefetches;
 
     if (engine_) {
-        const StreamEngineStats &es = engine_->engineStats();
+        StreamEngineStats es = engineStatsSinceWarmup();
         r.streamHits = es.hits;
         r.streamHitRatePercent = es.hitRatePercent();
         r.extraBandwidthPercent = es.extraBandwidthPercent();
     }
     if (l2_) {
-        r.l2Hits = l2_->hits();
-        r.l2Misses = l2_->misses();
-        r.l2LocalHitRatePercent = l2_->localHitRatePercent();
+        r.l2Hits = l2_->hits() - warmupBase_.l2Hits;
+        r.l2Misses = l2_->misses() - warmupBase_.l2Misses;
+        r.l2LocalHitRatePercent =
+            percent(r.l2Hits, r.l2Hits + r.l2Misses);
     }
 
-    r.cycles = cycles_;
-    r.streamHitsReady = streamHitsReady_.value();
-    r.streamHitsPending = streamHitsPending_.value();
-    r.busQueueCycles = busQueueCycles_.value();
-    r.cycleBreakdown.l1Hit = cyclesL1Hit_.value();
-    r.cycleBreakdown.victimHit = cyclesVictimHit_.value();
-    r.cycleBreakdown.streamHit = cyclesStreamHit_.value();
-    r.cycleBreakdown.streamStall = cyclesStreamStall_.value();
-    r.cycleBreakdown.demandFetch = cyclesDemandFetch_.value();
-    r.cycleBreakdown.busQueue = cyclesBusQueue_.value();
-    r.cycleBreakdown.swPrefetchIssue = cyclesSwPrefetch_.value();
-    SBSIM_ASSERT(r.cycleBreakdown.total() == cycles_,
+    r.cycles = cycles_ - warmupBase_.cycles;
+    r.streamHitsReady =
+        streamHitsReady_.value() - warmupBase_.streamHitsReady;
+    r.streamHitsPending =
+        streamHitsPending_.value() - warmupBase_.streamHitsPending;
+    r.busQueueCycles =
+        busQueueCycles_.value() - warmupBase_.busQueueCycles;
+    r.cycleBreakdown.l1Hit =
+        cyclesL1Hit_.value() - warmupBase_.breakdown.l1Hit;
+    r.cycleBreakdown.victimHit =
+        cyclesVictimHit_.value() - warmupBase_.breakdown.victimHit;
+    r.cycleBreakdown.streamHit =
+        cyclesStreamHit_.value() - warmupBase_.breakdown.streamHit;
+    r.cycleBreakdown.streamStall =
+        cyclesStreamStall_.value() - warmupBase_.breakdown.streamStall;
+    r.cycleBreakdown.demandFetch =
+        cyclesDemandFetch_.value() - warmupBase_.breakdown.demandFetch;
+    r.cycleBreakdown.busQueue =
+        cyclesBusQueue_.value() - warmupBase_.breakdown.busQueue;
+    r.cycleBreakdown.swPrefetchIssue =
+        cyclesSwPrefetch_.value() -
+        warmupBase_.breakdown.swPrefetchIssue;
+    SBSIM_ASSERT(r.cycleBreakdown.total() == r.cycles,
                  "cycle breakdown (", r.cycleBreakdown.total(),
                  ") does not account for every simulated cycle (",
-                 cycles_, ")");
+                 r.cycles, ")");
     r.avgAccessCycles =
         r.references == 0
             ? 0.0
-            : static_cast<double>(cycles_) /
+            : static_cast<double>(r.cycles) /
                   static_cast<double>(r.references);
     return r;
 }

@@ -184,6 +184,24 @@ class MemorySystem
     SystemResults finish();
 
     /**
+     * Mark everything processed so far as warmup: finish() will
+     * report counters and cycles measured from this point only, while
+     * the warm microarchitectural state (caches, streams, victim
+     * buffer, bus clock) carries over. Used by the sampled fidelity
+     * mode to replay an uncounted warmup prefix before each measured
+     * interval. At most once per system; incompatible with miss-trace
+     * recording and replay. Never called on the exact path, whose
+     * finish() arithmetic is untouched.
+     */
+    void endWarmup();
+
+    /**
+     * Stream-engine counters net of the warmup prefix (raw counters
+     * when endWarmup() was never called). Zero without streams.
+     */
+    StreamEngineStats engineStatsSinceWarmup() const;
+
+    /**
      * Record the post-L1 stream (demand misses, software-prefetch
      * fetches, write-backs, with front-end cycle deltas) into
      * @p trace while accesses are processed. Caller-owned; must
@@ -310,6 +328,30 @@ class MemorySystem
     /** Front-end summary adopted by finish() after replayMissTrace. */
     MissTraceSummary replaySummary_;
     bool replayed_ = false;
+
+    /**
+     * Snapshot of every raw counter finish() reads, captured by
+     * endWarmup() so the report can subtract the warmup prefix. All
+     * fields are plain values; the subtraction happens once, at
+     * finish() time, never on the per-reference hot path.
+     */
+    struct WarmupBase
+    {
+        std::uint64_t iAccesses = 0, dAccesses = 0;
+        std::uint64_t iMisses = 0, dMisses = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t swPrefetches = 0, swPrefetchesIssued = 0,
+                      swPrefetchesRedundant = 0;
+        std::uint64_t victimHits = 0;
+        std::uint64_t l2Hits = 0, l2Misses = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t streamHitsReady = 0, streamHitsPending = 0;
+        std::uint64_t busQueueCycles = 0;
+        CycleBreakdown breakdown;
+        StreamEngineStats engine;
+    };
+    WarmupBase warmupBase_;
+    bool warmed_ = false;
 };
 
 /**

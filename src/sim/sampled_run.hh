@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sampled-fidelity execution: run only a sampling plan's
+ * representative intervals (each on a fresh MemorySystem with an
+ * uncounted warmup prefix) and reconstruct full-trace metrics as the
+ * cluster-weighted sum of the per-interval measurements, with a
+ * jackknife error bar on the L1 miss rate. The public knob is the
+ * Fidelity enum behind --fidelity=exact|sampled.
+ */
+
+#ifndef STREAMSIM_SIM_SAMPLED_RUN_HH
+#define STREAMSIM_SIM_SAMPLED_RUN_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "trace/phase_profile.hh"
+
+namespace sbsim {
+
+/** How much of the trace a run actually simulates. */
+enum class Fidelity : std::uint8_t {
+    EXACT,   ///< Simulate every reference (the default).
+    SAMPLED, ///< Simulate representative intervals, estimate the rest.
+};
+
+/** Parse "exact" / "sampled"; nullopt on anything else. */
+std::optional<Fidelity> parseFidelity(const std::string &text);
+
+const char *toString(Fidelity fidelity);
+
+/**
+ * Execute @p plan over @p trace under @p config: for each selected
+ * interval, replay its warmup prefix (uncounted, via
+ * MemorySystem::endWarmup), measure the interval, then combine the
+ * per-interval results weighted by cluster size. Integer counters are
+ * rounded weighted sums; the cycle breakdown is rounded per component
+ * and summed so it still accounts exactly for the reported cycles;
+ * rates are ratios of unrounded weighted sums. The RunOutput's
+ * sampling report carries the plan shape and the jackknife
+ * (leave-one-cluster-out) standard error of the L1 miss rate.
+ */
+RunOutput runSampled(const std::shared_ptr<const MaterializedTrace> &trace,
+                     const SamplingPlan &plan,
+                     const MemorySystemConfig &config);
+
+} // namespace sbsim
+
+#endif // STREAMSIM_SIM_SAMPLED_RUN_HH

@@ -12,6 +12,7 @@
 #include "trace/reuse_profile.hh"
 #include "trace/time_sampler.hh"
 #include "util/env.hh"
+#include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/mutex.hh"
 #include "util/stats.hh"
@@ -184,21 +185,24 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     // --- Plan: decide per job how it will be serviced. Purely a
     // throughput decision — every mode is pinned bit-identical to
     // NAIVE by tests/test_sweep_runner.cc and tests/test_miss_trace.cc.
-    enum class Mode { NAIVE, SHARED_VIEW, REPLAY };
+    enum class Mode { NAIVE, SHARED_VIEW, REPLAY, SAMPLED };
     struct Plan
     {
         Mode mode = Mode::NAIVE;
         std::shared_ptr<const MaterializedTrace> trace;
         std::shared_ptr<const MissTrace> miss;
+        std::shared_ptr<const SamplingPlan> sampling;
     };
     std::vector<Plan> plans(jobs.size());
 
     // Pre-recorded miss traces are an explicit caller request, honoured
     // independently of the cache toggle (event-traced jobs excepted:
-    // replay cannot re-emit front-end events).
+    // replay cannot re-emit front-end events; sampled jobs excepted:
+    // they are serviced by their sampling plan below).
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (jobs[i].missTrace && !jobs[i].eventTrace)
-            plans[i] = {Mode::REPLAY, nullptr, jobs[i].missTrace};
+        if (jobs[i].missTrace && !jobs[i].eventTrace &&
+            jobs[i].fidelity == Fidelity::EXACT)
+            plans[i] = {Mode::REPLAY, nullptr, jobs[i].missTrace, nullptr};
     }
 
     if (traceCache_) {
@@ -217,6 +221,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const SweepJob &job = jobs[i];
             if (plans[i].mode == Mode::REPLAY || job.sourceKey.empty())
+                continue;
+            // Sampled jobs are planned separately: they need the whole
+            // materialised trace, not a view or a miss-stream replay.
+            if (job.fidelity == Fidelity::SAMPLED)
                 continue;
             if (job.eventTrace) {
                 viewOnly.push_back(i);
@@ -270,8 +278,14 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             to_materialize.size());
         parallelFor(to_materialize.size(), jobs_, [&](std::size_t k) {
             const std::string &key = to_materialize[k];
-            mats[k] = cache.getOrMaterialize(
-                key, jobs[factory_job.at(key)].makeSource);
+            const SweepJob &rep = jobs[factory_job.at(key)];
+            // Prefer the materialising producer: it attaches
+            // drain-time metadata (TimeSampler counts) the plain
+            // factory cannot.
+            mats[k] = rep.materialize
+                          ? cache.getOrMaterializeTrace(key,
+                                                        rep.materialize)
+                          : cache.getOrMaterialize(key, rep.makeSource);
         });
         std::map<std::string, std::shared_ptr<const MaterializedTrace>>
             mat_traces;
@@ -304,7 +318,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         });
         for (std::size_t k = 0; k < rec_fams.size(); ++k) {
             for (std::size_t i : rec_fams[k]->members)
-                plans[i] = {Mode::REPLAY, nullptr, misses[k]};
+                plans[i] = {Mode::REPLAY, nullptr, misses[k], nullptr};
         }
 
         // Everything left rides the shared reference trace when its
@@ -312,7 +326,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         auto assign_view = [&](std::size_t i) {
             auto it = mat_traces.find(jobs[i].sourceKey);
             if (it != mat_traces.end())
-                plans[i] = {Mode::SHARED_VIEW, it->second, nullptr};
+                plans[i] = {Mode::SHARED_VIEW, it->second, nullptr,
+                            nullptr};
         };
         for (std::size_t i : viewOnly)
             assign_view(i);
@@ -322,6 +337,63 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                     assign_view(i);
             }
         }
+    }
+
+    // --- Sampled-fidelity plan: one materialised trace and one
+    // sampling plan per (source key, profile config) group, shared by
+    // every sampled job over the same input — the sampled analogue of
+    // the miss-trace families above. With the cache enabled both live
+    // in the TraceCache (so the sweep service reuses them across
+    // requests); otherwise they are built once per group, locally.
+    {
+        struct SampleGroup
+        {
+            std::vector<std::size_t> members;
+        };
+        std::map<std::string, SampleGroup> sgroups;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (jobs[i].fidelity != Fidelity::SAMPLED)
+                continue;
+            SBSIM_ASSERT(!jobs[i].eventTrace,
+                         "sampled jobs cannot capture event traces");
+            // Keyless jobs opted out of reuse; one group each (0x1f
+            // prefix cannot collide with real keys).
+            std::string key = jobs[i].sourceKey.empty()
+                                  ? '\x1f' + std::to_string(i)
+                                  : jobs[i].sourceKey;
+            sgroups[key].members.push_back(i);
+        }
+        std::vector<std::pair<const std::string *, SampleGroup *>>
+            sgroup_list;
+        sgroup_list.reserve(sgroups.size());
+        for (auto &entry : sgroups)
+            sgroup_list.emplace_back(&entry.first, &entry.second);
+        parallelFor(sgroup_list.size(), jobs_, [&](std::size_t k) {
+            const std::string &key = *sgroup_list[k].first;
+            SampleGroup &group = *sgroup_list[k].second;
+            const SweepJob &leader = jobs[group.members.front()];
+            const bool cached = traceCache_ && !leader.sourceKey.empty();
+            auto produce = [&leader] {
+                if (leader.materialize)
+                    return leader.materialize();
+                std::unique_ptr<TraceSource> src = leader.makeSource();
+                return MaterializedTrace::fromSource(*src);
+            };
+            std::shared_ptr<const MaterializedTrace> trace =
+                cached ? TraceCache::instance().getOrMaterializeTrace(
+                             key, produce)
+                       : produce();
+            const PhaseProfileConfig profile_config;
+            auto build = [&trace, &profile_config] {
+                return buildSamplingPlan(*trace, profile_config);
+            };
+            std::shared_ptr<const SamplingPlan> plan =
+                cached ? TraceCache::instance().getOrBuildPlan(
+                             key + '\x1f' + profile_config.key(), build)
+                       : std::make_shared<const SamplingPlan>(build());
+            for (std::size_t i : group.members)
+                plans[i] = {Mode::SAMPLED, trace, nullptr, plan};
+        });
     }
 
     // --- Analytic L2 profiling plan: one reuse-distance profile per
@@ -341,7 +413,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         };
         std::map<std::string, ProfileGroup> groups;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            if (jobs[i].l2Model == L2ModelKind::SIMULATED)
+            // Sampled jobs never profile: the analytic model needs the
+            // full miss stream (both front ends reject the combo).
+            if (jobs[i].l2Model == L2ModelKind::SIMULATED ||
+                jobs[i].fidelity == Fidelity::SAMPLED)
                 continue;
             // Keyless jobs opted out of trace reuse; give each its
             // own group (0x1f prefix cannot collide with real keys).
@@ -425,7 +500,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         res.label = job.label;
         {
             ScopedTimer timer(res.wallSeconds);
-            if (plan.mode == Mode::REPLAY) {
+            if (plan.mode == Mode::SAMPLED) {
+                res.output =
+                    runSampled(plan.trace, *plan.sampling, job.config);
+            } else if (plan.mode == Mode::REPLAY) {
                 TraceCache::instance().noteReplay();
                 res.output = replayOnce(*plan.miss, job.config);
             } else if (plan.mode == Mode::SHARED_VIEW) {
@@ -534,12 +612,16 @@ writeSweepJson(const std::vector<SweepResult> &results, std::ostream &os,
            << ",\"miss_trace_hits\":" << cache_stats->missTraceHits
            << ",\"miss_traces_recorded\":"
            << cache_stats->missTracesRecorded
+           << ",\"phase_plan_hits\":" << cache_stats->phasePlanHits
+           << ",\"phase_plans_built\":" << cache_stats->phasePlansBuilt
            << ",\"replays\":" << cache_stats->replays
            << ",\"resident_bytes\":" << cache_stats->residentBytes
            << ",\"expired_purged\":" << cache_stats->expiredPurged
            << ",\"ref_trace_entries\":" << cache_stats->refTraceEntries
            << ",\"miss_trace_entries\":"
-           << cache_stats->missTraceEntries << '}';
+           << cache_stats->missTraceEntries
+           << ",\"phase_plan_entries\":"
+           << cache_stats->phasePlanEntries << '}';
     }
     os << "}}\n";
 }

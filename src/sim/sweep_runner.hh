@@ -50,6 +50,7 @@
 
 #include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
+#include "sim/sampled_run.hh"
 #include "trace/source.hh"
 #include "trace/trace_cache.hh"
 #include "util/event_trace.hh"
@@ -109,6 +110,27 @@ struct SweepJob
      * unchanged (BOTH compares the two). Default: SIMULATED (off).
      */
     L2ModelKind l2Model = L2ModelKind::SIMULATED;
+
+    /**
+     * SAMPLED services the job by phase-aware interval sampling
+     * instead of a full run (sim/sampled_run.hh): the runner
+     * materialises the job's input, builds (or fetches from the trace
+     * cache) one sampling plan per (source key, profile config) pair,
+     * and reconstructs the metrics from the representative intervals.
+     * Incompatible with eventTrace and with replay (sampled jobs are
+     * excluded from miss-trace families).
+     */
+    Fidelity fidelity = Fidelity::EXACT;
+
+    /**
+     * Optional materialising producer for the job's input, used in
+     * preference to wrapping makeSource when the runner needs the
+     * whole trace in memory (sampled jobs; shared-trace
+     * materialisation). Lets the producer attach drain-time metadata
+     * (TimeSampler counts) the plain factory cannot.
+     */
+    std::function<std::shared_ptr<const MaterializedTrace>()>
+        materialize;
 };
 
 /** A RunOutput plus per-job provenance and throughput. */

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -31,9 +32,21 @@ class MaterializedTrace
         : refs_(std::move(refs))
     {}
 
-    /** Drain @p src to completion into a new shared trace. */
-    static std::shared_ptr<const MaterializedTrace>
-    fromSource(TraceSource &src)
+    /**
+     * As above, recording the TimeSampler pass-through counts of the
+     * chain that produced @p refs, so runs replaying this trace can
+     * still report them (the sampler itself is gone by replay time).
+     */
+    MaterializedTrace(std::vector<MemAccess> refs,
+                      std::uint64_t sampler_sampled,
+                      std::uint64_t sampler_skipped)
+        : refs_(std::move(refs)), samplerSampled_(sampler_sampled),
+          samplerSkipped_(sampler_skipped), hasSamplerCounts_(true)
+    {}
+
+    /** Drain @p src to completion into a plain vector. */
+    static std::vector<MemAccess>
+    drainVector(TraceSource &src)
     {
         std::vector<MemAccess> refs;
         MemAccess buf[1024];
@@ -41,11 +54,25 @@ class MaterializedTrace
         while ((got = src.nextBatch(buf, 1024)) > 0)
             refs.insert(refs.end(), buf, buf + got);
         refs.shrink_to_fit();
-        return std::make_shared<const MaterializedTrace>(std::move(refs));
+        return refs;
+    }
+
+    /** Drain @p src to completion into a new shared trace. */
+    static std::shared_ptr<const MaterializedTrace>
+    fromSource(TraceSource &src)
+    {
+        return std::make_shared<const MaterializedTrace>(
+            drainVector(src));
     }
 
     const MemAccess *data() const { return refs_.data(); }
     std::size_t size() const { return refs_.size(); }
+
+    /** True when the producing chain's TimeSampler counts were
+     *  recorded at materialization time. */
+    bool hasSamplerCounts() const { return hasSamplerCounts_; }
+    std::uint64_t samplerSampled() const { return samplerSampled_; }
+    std::uint64_t samplerSkipped() const { return samplerSkipped_; }
 
     /** Approximate resident footprint, for the cache report. */
     std::size_t
@@ -56,6 +83,9 @@ class MaterializedTrace
 
   private:
     std::vector<MemAccess> refs_;
+    std::uint64_t samplerSampled_ = 0;
+    std::uint64_t samplerSkipped_ = 0;
+    bool hasSamplerCounts_ = false;
 };
 
 /**

@@ -71,11 +71,25 @@ TraceCache::missHitLocked(const std::string &key)
     return nullptr;
 }
 
+std::shared_ptr<const SamplingPlan>
+TraceCache::planHitLocked(const std::string &key)
+{
+    auto it = plans_.find(key);
+    if (it == plans_.end())
+        return nullptr;
+    if (auto plan = it->second.lock()) {
+        ++counters_.phasePlanHits;
+        return plan;
+    }
+    return nullptr;
+}
+
 std::size_t
 TraceCache::purgeExpiredLocked()
 {
     std::size_t purged = eraseExpired(refTraces_);
     purged += eraseExpired(missTraces_);
+    purged += eraseExpired(plans_);
     counters_.expiredPurged += purged;
     // The bound the purge exists to maintain: a sweep leaves only
     // live entries behind, so map size can never exceed the live
@@ -89,6 +103,10 @@ TraceCache::purgeExpiredLocked()
         for (const auto &entry : missTraces_)
             SBSIM_AUDIT(!entry.second.expired(),
                         "expired miss-trace entry survived the purge: ",
+                        entry.first);
+        for (const auto &entry : plans_)
+            SBSIM_AUDIT(!entry.second.expired(),
+                        "expired sampling-plan entry survived the purge: ",
                         entry.first););
     return purged;
 }
@@ -124,6 +142,28 @@ TraceCache::getOrMaterialize(
     }
     // Inserts are the only operation that grows the maps, so they are
     // the natural amortisation point for the expired-entry sweep.
+    purgeExpiredLocked();
+    refTraces_[key] = produced;
+    ++counters_.refTracesMaterialized;
+    return produced;
+}
+
+std::shared_ptr<const MaterializedTrace>
+TraceCache::getOrMaterializeTrace(
+    const std::string &key,
+    const std::function<std::shared_ptr<const MaterializedTrace>()>
+        &produce)
+{
+    {
+        MutexLock lock(mutex_);
+        if (auto trace = refHitLocked(key))
+            return trace;
+    }
+    std::shared_ptr<const MaterializedTrace> produced = produce();
+
+    MutexLock lock(mutex_);
+    if (auto winner = refHitLocked(key))
+        return winner;
     purgeExpiredLocked();
     refTraces_[key] = produced;
     ++counters_.refTracesMaterialized;
@@ -167,6 +207,26 @@ TraceCache::getOrRecord(const std::string &key,
     return produced;
 }
 
+std::shared_ptr<const SamplingPlan>
+TraceCache::getOrBuildPlan(const std::string &key,
+                           const std::function<SamplingPlan()> &build)
+{
+    {
+        MutexLock lock(mutex_);
+        if (auto plan = planHitLocked(key))
+            return plan;
+    }
+    auto produced = std::make_shared<const SamplingPlan>(build());
+
+    MutexLock lock(mutex_);
+    if (auto winner = planHitLocked(key))
+        return winner;
+    purgeExpiredLocked();
+    plans_[key] = produced;
+    ++counters_.phasePlansBuilt;
+    return produced;
+}
+
 void
 TraceCache::noteReplay()
 {
@@ -189,8 +249,13 @@ TraceCache::stats()
         if (auto trace = entry.second.lock())
             s.residentBytes += trace->bytes();
     }
+    for (const auto &entry : plans_) {
+        if (auto plan = entry.second.lock())
+            s.residentBytes += plan->bytes();
+    }
     s.refTraceEntries = refTraces_.size();
     s.missTraceEntries = missTraces_.size();
+    s.phasePlanEntries = plans_.size();
     return s;
 }
 
@@ -200,6 +265,7 @@ TraceCache::clear()
     MutexLock lock(mutex_);
     refTraces_.clear();
     missTraces_.clear();
+    plans_.clear();
     counters_ = TraceCacheStats{};
 }
 
@@ -209,17 +275,21 @@ printTraceCacheReport(const TraceCacheStats &stats, std::FILE *out)
     std::fprintf(
         out,
         "sweep: trace cache: ref %llu hit / %llu built, miss "
-        "%llu hit / %llu recorded, %llu replays, %llu bytes "
-        "resident, %llu expired purged (%llu+%llu keys live)\n",
+        "%llu hit / %llu recorded, plan %llu hit / %llu built, "
+        "%llu replays, %llu bytes resident, %llu expired purged "
+        "(%llu+%llu+%llu keys live)\n",
         static_cast<unsigned long long>(stats.refTraceHits),
         static_cast<unsigned long long>(stats.refTracesMaterialized),
         static_cast<unsigned long long>(stats.missTraceHits),
         static_cast<unsigned long long>(stats.missTracesRecorded),
+        static_cast<unsigned long long>(stats.phasePlanHits),
+        static_cast<unsigned long long>(stats.phasePlansBuilt),
         static_cast<unsigned long long>(stats.replays),
         static_cast<unsigned long long>(stats.residentBytes),
         static_cast<unsigned long long>(stats.expiredPurged),
         static_cast<unsigned long long>(stats.refTraceEntries),
-        static_cast<unsigned long long>(stats.missTraceEntries));
+        static_cast<unsigned long long>(stats.missTraceEntries),
+        static_cast<unsigned long long>(stats.phasePlanEntries));
 }
 
 } // namespace sbsim

@@ -7,7 +7,10 @@
  *    one source key, shared by SharedTraceView consumers;
  *  - miss traces (MissTrace): the post-L1 event stream of one
  *    (source key, L1 front-end) pair, replayed by
- *    MemorySystem::replayMissTrace.
+ *    MemorySystem::replayMissTrace;
+ *  - sampling plans (SamplingPlan): the phase profile + selected
+ *    representative intervals of one (source key, phase config) pair,
+ *    executed by runSampled for --fidelity=sampled jobs.
  *
  * Entries are held as weak_ptr: the cache never pins memory on its
  * own — a trace stays resident exactly as long as some consumer holds
@@ -47,6 +50,7 @@
 
 #include "trace/materialized_trace.hh"
 #include "trace/miss_trace.hh"
+#include "trace/phase_profile.hh"
 #include "util/mutex.hh"
 #include "util/thread_annotations.hh"
 
@@ -71,6 +75,11 @@ struct TraceCacheStats
     std::uint64_t refTraceEntries = 0;
     /** Keys currently in the miss-trace map (all live; see above). */
     std::uint64_t missTraceEntries = 0;
+    /** Sampling-plan sharing (see getOrBuildPlan). */
+    std::uint64_t phasePlanHits = 0;
+    std::uint64_t phasePlansBuilt = 0;
+    /** Keys currently in the sampling-plan map (all live). */
+    std::uint64_t phasePlanEntries = 0;
 };
 
 /**
@@ -112,6 +121,16 @@ class TraceCache
         const std::function<std::unique_ptr<TraceSource>()> &make)
         SBSIM_EXCLUDES(mutex_);
 
+    /**
+     * As above with a producer that builds the trace itself, for
+     * chains whose metadata (TimeSampler counts) must be captured at
+     * drain time. @p produce must be deterministic for the key.
+     */
+    std::shared_ptr<const MaterializedTrace> getOrMaterializeTrace(
+        const std::string &key,
+        const std::function<std::shared_ptr<const MaterializedTrace>()>
+            &produce) SBSIM_EXCLUDES(mutex_);
+
     /** Peek: the cached trace for @p key if still alive, else null.
      *  Does not count as a hit. */
     std::shared_ptr<const MaterializedTrace>
@@ -129,6 +148,18 @@ class TraceCache
     std::shared_ptr<const MissTrace> getOrRecord(
         const std::string &key,
         const std::function<MissTrace()> &record)
+        SBSIM_EXCLUDES(mutex_);
+
+    /**
+     * Return the sampling plan cached under @p key (conventionally
+     * source key + '\x1f' + PhaseProfileConfig::key()), or produce it
+     * via @p build (deterministic for the key; typically
+     * buildSamplingPlan over the key's materialized trace).
+     * First-writer-wins on races.
+     */
+    std::shared_ptr<const SamplingPlan> getOrBuildPlan(
+        const std::string &key,
+        const std::function<SamplingPlan()> &build)
         SBSIM_EXCLUDES(mutex_);
 
     /** Count one job served by miss-stream replay. */
@@ -164,6 +195,8 @@ class TraceCache
     refHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
     std::shared_ptr<const MissTrace>
     missHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
+    std::shared_ptr<const SamplingPlan>
+    planHitLocked(const std::string &key) SBSIM_REQUIRES(mutex_);
 
     /** The sweep behind purgeExpired(); caller holds the lock. Under
      *  STREAMSIM_CHECKED, audits that no expired entry survives. */
@@ -174,6 +207,8 @@ class TraceCache
         refTraces_ SBSIM_GUARDED_BY(mutex_);
     std::map<std::string, std::weak_ptr<const MissTrace>>
         missTraces_ SBSIM_GUARDED_BY(mutex_);
+    std::map<std::string, std::weak_ptr<const SamplingPlan>>
+        plans_ SBSIM_GUARDED_BY(mutex_);
     TraceCacheStats counters_ SBSIM_GUARDED_BY(mutex_);
 };
 

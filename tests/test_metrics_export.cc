@@ -48,7 +48,12 @@ const char *const kZeroSections =
     "\"sw_prefetch\":{\"total\":0,\"issued\":0,\"redundant\":0},"
     "\"cycles\":{\"total\":0,\"avg_access_cycles\":0,\"l1_hit\":0,"
     "\"victim_hit\":0,\"stream_hit\":0,\"stream_stall\":0,"
-    "\"demand_fetch\":0,\"bus_queue\":0,\"sw_prefetch_issue\":0}}";
+    "\"demand_fetch\":0,\"bus_queue\":0,\"sw_prefetch_issue\":0},"
+    "\"sampling\":{\"mode\":\"exact\",\"intervals_total\":0,"
+    "\"intervals_selected\":0,\"interval_refs\":0,\"warmup_refs\":0,"
+    "\"simulated_refs\":0,\"estimated_refs\":0,"
+    "\"miss_rate_stderr_pct\":0,\"time_sampler_sampled\":0,"
+    "\"time_sampler_skipped\":0}}";
 
 RunOutput
 smallRun(const MemorySystemConfig &config,

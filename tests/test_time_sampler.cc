@@ -4,6 +4,7 @@
 
 #include "trace/source.hh"
 #include "trace/time_sampler.hh"
+#include "util/random.hh"
 
 using namespace sbsim;
 
@@ -18,6 +19,19 @@ countingSource(std::uint64_t n)
     for (std::uint64_t i = 0; i < n; ++i)
         v.push_back(makeLoad(i * 8));
     return VectorSource(std::move(v));
+}
+
+/** drain() via nextBatch with a fixed batch size, so window
+ *  boundaries land at every possible offset within a batch. */
+std::vector<MemAccess>
+drainBatched(TraceSource &src, std::size_t batch)
+{
+    std::vector<MemAccess> out;
+    std::vector<MemAccess> buf(batch);
+    std::size_t got;
+    while ((got = src.nextBatch(buf.data(), batch)) > 0)
+        out.insert(out.end(), buf.begin(), buf.begin() + got);
+    return out;
 }
 
 } // namespace
@@ -73,6 +87,117 @@ TEST(TimeSampler, ResetRestartsPattern)
     EXPECT_EQ(again[0].addr, 0u);
 }
 
+TEST(TimeSampler, ResetAfterPartialWindowRestartsPatternAndCounts)
+{
+    // Stop mid-off-window (5 on + 2 into the gap), then reset: the
+    // counts must zero and the replay must match a fresh drain.
+    VectorSource src = countingSource(30);
+    TimeSampler sampler(src, 5, 5);
+    MemAccess a;
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(sampler.next(a));
+    EXPECT_EQ(sampler.sampledCount(), 5u);
+
+    sampler.reset();
+    EXPECT_EQ(sampler.sampledCount(), 0u);
+    EXPECT_EQ(sampler.skippedCount(), 0u);
+
+    auto replay = drain(sampler);
+    VectorSource fresh_src = countingSource(30);
+    TimeSampler fresh(fresh_src, 5, 5);
+    auto expected = drain(fresh);
+    ASSERT_EQ(replay.size(), expected.size());
+    for (std::size_t i = 0; i < replay.size(); ++i)
+        EXPECT_EQ(replay[i].addr, expected[i].addr);
+    EXPECT_EQ(sampler.sampledCount(), fresh.sampledCount());
+    EXPECT_EQ(sampler.skippedCount(), fresh.skippedCount());
+}
+
+TEST(TimeSampler, ZeroOffCountPassesEverything)
+{
+    VectorSource src = countingSource(57);
+    TimeSampler sampler(src, 10, 0);
+    auto sampled = drain(sampler);
+    ASSERT_EQ(sampled.size(), 57u);
+    for (std::size_t i = 0; i < sampled.size(); ++i)
+        EXPECT_EQ(sampled[i].addr, static_cast<Addr>(i * 8));
+    EXPECT_EQ(sampler.sampledCount(), 57u);
+    EXPECT_EQ(sampler.skippedCount(), 0u);
+}
+
+TEST(TimeSampler, ExhaustionExactlyOnWindowBoundaries)
+{
+    // Source dries at the exact end of an on-window...
+    {
+        VectorSource src = countingSource(10);
+        TimeSampler sampler(src, 5, 5);
+        EXPECT_EQ(drain(sampler).size(), 5u);
+        EXPECT_EQ(sampler.sampledCount(), 5u);
+        EXPECT_EQ(sampler.skippedCount(), 5u);
+    }
+    // ...and at the exact end of an off-window: no phantom delivery,
+    // the counts cover every source reference.
+    {
+        VectorSource src = countingSource(15);
+        TimeSampler sampler(src, 5, 10);
+        EXPECT_EQ(drain(sampler).size(), 5u);
+        EXPECT_EQ(sampler.sampledCount(), 5u);
+        EXPECT_EQ(sampler.skippedCount(), 10u);
+    }
+}
+
+TEST(TimeSampler, BatchesStraddlingWindowsMatchSerial)
+{
+    // Batch size 7 against 5/5 windows: every batch spans a window
+    // boundary somewhere. The delivered stream and the counts must be
+    // bit-identical to the per-reference path.
+    VectorSource serial_src = countingSource(101);
+    TimeSampler serial(serial_src, 5, 5);
+    auto expected = drain(serial);
+
+    VectorSource batched_src = countingSource(101);
+    TimeSampler batched(batched_src, 5, 5);
+    auto got = drainBatched(batched, 7);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].addr, expected[i].addr);
+    EXPECT_EQ(batched.sampledCount(), serial.sampledCount());
+    EXPECT_EQ(batched.skippedCount(), serial.skippedCount());
+}
+
+TEST(TimeSampler, BatchedMatchesSerialUnderFuzzedGeometry)
+{
+    // Deterministic fuzz over (trace length, on, off, batch size):
+    // the batched path must agree with serial delivery reference for
+    // reference, including the pass/drop accounting.
+    Pcg32 rng(1994);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint64_t n = 1 + rng.below(400);
+        std::uint64_t on = 1 + rng.below(20);
+        std::uint64_t off = rng.below(30);
+        std::size_t batch = 1 + rng.below(17);
+        SCOPED_TRACE("n=" + std::to_string(n) + " on=" +
+                     std::to_string(on) + " off=" + std::to_string(off) +
+                     " batch=" + std::to_string(batch));
+
+        VectorSource serial_src = countingSource(n);
+        TimeSampler serial(serial_src, on, off);
+        auto expected = drain(serial);
+
+        VectorSource batched_src = countingSource(n);
+        TimeSampler batched(batched_src, on, off);
+        auto got = drainBatched(batched, batch);
+
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got[i].addr, expected[i].addr);
+        EXPECT_EQ(batched.sampledCount(), serial.sampledCount());
+        EXPECT_EQ(batched.skippedCount(), serial.skippedCount());
+        EXPECT_EQ(batched.sampledCount() + batched.skippedCount(), n);
+    }
+}
+
 TEST(TimeSamplerDeath, RejectsZeroOnCount)
 {
     VectorSource src = countingSource(1);
@@ -101,4 +226,67 @@ TEST(TruncatingSource, ResetRestoresBudget)
     drain(limited);
     limited.reset();
     EXPECT_EQ(drain(limited).size(), 4u);
+}
+
+TEST(TruncatingSource, BatchedClampsAtLimitAndStaysDry)
+{
+    // A batch spanning the limit is clamped to the remaining budget;
+    // once the budget is spent, further batched pulls deliver nothing
+    // even though the source has data left.
+    VectorSource src = countingSource(100);
+    TruncatingSource limited(src, 10);
+    MemAccess buf[8];
+    EXPECT_EQ(limited.nextBatch(buf, 8), 8u);
+    EXPECT_EQ(limited.nextBatch(buf, 8), 2u);
+    EXPECT_EQ(limited.nextBatch(buf, 8), 0u);
+    MemAccess a;
+    EXPECT_FALSE(limited.next(a));
+}
+
+TEST(TruncatingSource, BatchedMatchesSerialUnderFuzzedGeometry)
+{
+    Pcg32 rng(2026);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::uint64_t n = rng.below(200);
+        std::uint64_t limit = rng.below(250);
+        std::size_t batch = 1 + rng.below(13);
+        SCOPED_TRACE("n=" + std::to_string(n) + " limit=" +
+                     std::to_string(limit) + " batch=" +
+                     std::to_string(batch));
+
+        VectorSource serial_src = countingSource(n);
+        TruncatingSource serial(serial_src, limit);
+        auto expected = drain(serial);
+
+        VectorSource batched_src = countingSource(n);
+        TruncatingSource batched(batched_src, limit);
+        auto got = drainBatched(batched, batch);
+
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got[i].addr, expected[i].addr);
+    }
+}
+
+TEST(SamplerStack, SamplerUnderTruncationMatchesSerialComposition)
+{
+    // The production chain is benchmark -> TimeSampler ->
+    // TruncatingSource; the batched composition must agree with the
+    // serial one through both layers.
+    VectorSource serial_src = countingSource(500);
+    TimeSampler serial_sampler(serial_src, 7, 13);
+    TruncatingSource serial(serial_sampler, 120);
+    auto expected = drain(serial);
+
+    VectorSource batched_src = countingSource(500);
+    TimeSampler batched_sampler(batched_src, 7, 13);
+    TruncatingSource batched(batched_sampler, 120);
+    auto got = drainBatched(batched, 11);
+
+    ASSERT_EQ(got.size(), expected.size());
+    ASSERT_EQ(got.size(), 120u);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].addr, expected[i].addr);
+    EXPECT_EQ(batched_sampler.sampledCount(),
+              serial_sampler.sampledCount());
 }

@@ -44,9 +44,15 @@ fi
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
+# The warm-up window matters most under SMOKE: single-iteration
+# repetitions would otherwise measure the first, cold pass of each
+# benchmark (page faults + allocator growth on multi-MB traces) and
+# the fidelity gate would compare cold sampled runs against warm
+# exact ones.
 "$bench_bin" \
-    --benchmark_filter='BM_MemorySystem|BM_RunBenchmark|BM_SweepFamily' \
+    --benchmark_filter='BM_MemorySystem|BM_RunBenchmark|BM_SweepFamily|BM_SweepFidelity' \
     --benchmark_min_time="$min_time" \
+    --benchmark_min_warmup_time=0.5 \
     --benchmark_repetitions="$repetitions" \
     --benchmark_out="$raw_json" \
     --benchmark_out_format=json
@@ -76,6 +82,28 @@ for b in raw.get("benchmarks", []):
         fresh[name] = max(fresh.get(name, 0.0), ips)
 
 status = 0
+
+# Sampled fidelity must keep earning its keep: the fig3 sweep pair
+# has to show at least a 5x wall-clock advantage for --fidelity=
+# sampled over exact, on this machine, right now.
+def best_time(name):
+    times = [b["real_time"]
+             for b in raw.get("benchmarks", [])
+             if b.get("run_type") != "aggregate"
+             and b["name"].split("/")[0] == name]
+    return min(times) if times else None
+
+exact_t = best_time("BM_SweepFidelityExact")
+sampled_t = best_time("BM_SweepFidelitySampled")
+if exact_t is not None and sampled_t is not None and sampled_t > 0:
+    speedup = exact_t / sampled_t
+    verdict = "ok"
+    if speedup < 5.0:
+        verdict = "TOO SLOW (need >= 5x)"
+        status = 1
+    print("check: fidelity_sampled_speedup %26.2fx %s"
+          % (speedup, verdict))
+
 for name, pinned in sorted(ref.items()):
     if not isinstance(pinned, dict):  # commit tag, derived ratios
         continue
@@ -133,6 +161,15 @@ cached = current.get("BM_SweepFamilyCached")
 if naive and cached and cached["real_time_ns"]:
     current["sweep_family_speedup"] = (
         naive["real_time_ns"] / cached["real_time_ns"])
+
+# The fidelity pair measures what --fidelity=sampled buys on the
+# fig3 sweep: exact simulates every reference of all six points,
+# sampled profiles once and replays representative intervals.
+exact = current.get("BM_SweepFidelityExact")
+sampled = current.get("BM_SweepFidelitySampled")
+if exact and sampled and sampled["real_time_ns"]:
+    current["fidelity_sampled_speedup"] = (
+        exact["real_time_ns"] / sampled["real_time_ns"])
 
 # Keep the pinned baseline; roll the previous current into history.
 doc = {"generated_by": "tools/bench_throughput.sh"}

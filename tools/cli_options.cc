@@ -213,6 +213,16 @@ parseArgs(const std::vector<std::string> &args)
                 return result;
             }
             o.l2Model = *kind;
+        } else if (a == "--fidelity") {
+            if (!need_value(i, a))
+                return result;
+            std::optional<Fidelity> fidelity =
+                parseFidelity(args[++i]);
+            if (!fidelity) {
+                result.error = "bad --fidelity (exact|sampled)";
+                return result;
+            }
+            o.fidelity = *fidelity;
         } else if (a == "--bus") {
             if (!need_value(i, a))
                 return result;
@@ -320,6 +330,29 @@ parseArgs(const std::vector<std::string> &args)
             return result;
         }
     }
+    if (o.fidelity == Fidelity::SAMPLED) {
+        if (o.command != Command::RUN && o.command != Command::SWEEP) {
+            result.error =
+                "--fidelity sampled applies to run and sweep only";
+            return result;
+        }
+        if (!o.eventsOut.empty()) {
+            result.error = "--fidelity sampled cannot capture --events "
+                           "(only the selected intervals are simulated)";
+            return result;
+        }
+        if (o.fullStats) {
+            result.error = "--fidelity sampled has no single system to "
+                           "dump with --stats";
+            return result;
+        }
+        if (o.l2Model && *o.l2Model != L2ModelKind::SIMULATED) {
+            result.error =
+                "--fidelity sampled supports only --l2-model simulated "
+                "(the analytic profile needs the full miss stream)";
+            return result;
+        }
+    }
     return result;
 }
 
@@ -345,6 +378,7 @@ toRunSpec(const Options &o)
     spec.l2KiloBytes = o.l2KiloBytes;
     spec.busCycles = o.busCycles;
     spec.l2Model = o.l2Model;
+    spec.fidelity = o.fidelity;
     return spec;
 }
 
@@ -394,6 +428,13 @@ system:
                              two and report the absolute error (also
                              SBSIM_L2_MODEL; analytic/both need --l2)
   --bus N                    bus occupancy per block in cycles (0 = infinite)
+  --fidelity exact|sampled   run fidelity (run and sweep): exact
+                             simulates every reference (default);
+                             sampled profiles the trace's phases and
+                             simulates only representative intervals,
+                             reconstructing the metrics with a
+                             jackknife error bar (see the metrics
+                             "sampling" section)
 
 output:
   --out FILE (-o)            capture target file

@@ -15,6 +15,7 @@
 #include "service/run_spec.hh"
 #include "sim/analytic_l2.hh"
 #include "sim/experiment.hh"
+#include "sim/sampled_run.hh"
 #include "workloads/benchmark.hh"
 
 namespace sbsim {
@@ -60,6 +61,10 @@ struct Options
      *  SBSIM_L2_MODEL (default simulated). analytic/both attach a
      *  one-pass reuse-distance prediction to the run's metrics. */
     std::optional<L2ModelKind> l2Model;
+    /** Run fidelity (--fidelity). sampled simulates only a phase
+     *  plan's representative intervals and reconstructs the metrics
+     *  with error bars (sim/sampled_run.hh). */
+    Fidelity fidelity = Fidelity::EXACT;
 
     // Output.
     std::string outFile;   ///< capture target.

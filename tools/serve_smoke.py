@@ -104,6 +104,8 @@ def check_negative(sock_path):
         b"{\"op\": \"ping\", \"values\": [1]}\n",  # field/op mismatch
         b"{\"op\": \"run\", \"spec\": {\"benchmark\": \"embar\","
         b" \"refs\": -5}}\n",
+        b"{\"op\": \"run\", \"spec\": {\"benchmark\": \"embar\","
+        b" \"fidelity\": \"turbo\"}}\n",  # must be exact|sampled
     ]
     s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     s.settimeout(30.0)
@@ -171,6 +173,28 @@ def main():
             fail("daemon run document differs from CLI --json-out")
         print("serve_smoke: run differential OK (%d bytes identical)"
               % len(cli_run))
+
+        # Differential: a sampled-fidelity daemon run equals the CLI's
+        # --fidelity sampled document byte for byte (same phase plan,
+        # same weighted reconstruction, cached or not).
+        sampled_spec = dict(SPEC, fidelity="sampled")
+        cli_sampled = cli_json(
+            args.cli,
+            ["run", "-b", SPEC["benchmark"],
+             "--refs", str(SPEC["refs"]),
+             "--streams", str(SPEC["streams"]),
+             "--fidelity", "sampled"],
+            os.path.join(tmp, "cli_sampled.json"))
+        with ServiceClient(sock_path) as client:
+            served = client.request({"op": "run", "spec": sampled_spec})
+        if served["result"] != cli_sampled:
+            fail("daemon sampled run differs from CLI --fidelity "
+                 "sampled --json-out")
+        if json.loads(cli_sampled)["sections"]["sampling"]["mode"] != \
+                "sampled":
+            fail("sampled run did not report sampling mode 'sampled'")
+        print("serve_smoke: sampled-fidelity differential OK "
+              "(%d bytes identical)" % len(cli_sampled))
 
         # Differential: daemon sweep == CLI sweep modulo timing.
         cli_sweep = cli_json(

@@ -168,6 +168,12 @@ def self_test(schema):
              "l2_analytic": {**zero_sections()["l2_analytic"],
                              "model": "oracle"},
          }}, False),
+        ("unknown fidelity mode rejected",
+         {**good_run, "sections": {
+             **zero_sections(),
+             "sampling": {**zero_sections()["sampling"],
+                          "mode": "turbo"},
+         }}, False),
         ("run without sections rejected",
          {"schema": "streamsim-metrics", "schema_version": 1,
           "kind": "run"}, False),
@@ -192,8 +198,10 @@ def self_test(schema):
 def zero_trace_cache():
     return {"ref_trace_hits": 0, "ref_traces_materialized": 0,
             "miss_trace_hits": 0, "miss_traces_recorded": 0,
+            "phase_plan_hits": 0, "phase_plans_built": 0,
             "replays": 0, "resident_bytes": 0, "expired_purged": 0,
-            "ref_trace_entries": 0, "miss_trace_entries": 0}
+            "ref_trace_entries": 0, "miss_trace_entries": 0,
+            "phase_plan_entries": 0}
 
 
 def zero_sections():
@@ -223,6 +231,12 @@ def zero_sections():
                    "victim_hit": 0, "stream_hit": 0, "stream_stall": 0,
                    "demand_fetch": 0, "bus_queue": 0,
                    "sw_prefetch_issue": 0},
+        "sampling": {"mode": "exact", "intervals_total": 0,
+                     "intervals_selected": 0, "interval_refs": 0,
+                     "warmup_refs": 0, "simulated_refs": 0,
+                     "estimated_refs": 0, "miss_rate_stderr_pct": 0,
+                     "time_sampler_sampled": 0,
+                     "time_sampler_skipped": 0},
     }
 
 
